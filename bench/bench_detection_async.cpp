@@ -1,0 +1,74 @@
+// Experiment E3 (Theorem 8.5): asynchronous detection time
+// O(Delta log^3 n) under a weakly fair daemon, with the Want/handshake
+// comparison mechanism (Section 7.2.2). Sweeps n at fixed degree and the
+// degree at fixed n.
+//
+// Shape to check: time/(Delta (log n)^3) bounded; growth with Delta at
+// most linear.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/ssmst.hpp"
+#include "util/bits.hpp"
+#include "util/table.hpp"
+
+using namespace ssmst;
+
+namespace {
+
+double detect_async(const WeightedGraph& g, std::uint64_t seed) {
+  VerifierConfig cfg;
+  cfg.sync_mode = false;
+  VerifierHarness h(g, cfg, seed);
+  if (h.run(64).has_value()) return -1;
+  auto victim = h.tamper_loadbearing_piece(seed * 41);
+  if (!victim) return -1;
+  auto res = h.measure_detection({*victim}, 1u << 23);
+  return res.detected ? static_cast<double>(res.detection_time) : -1;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== E3: detection time, asynchronous (target O(D log^3 n)) ==");
+  std::puts("-- n sweep at max degree 4 --");
+  {
+    Table t({"n", "detect units (median of 3)", "D*(log n)^3", "ratio"});
+    Rng rng(5);
+    for (NodeId n : {64u, 128u, 256u}) {
+      auto g = gen::random_bounded_degree(n, 4, n / 4, rng);
+      std::vector<double> xs;
+      for (std::uint64_t s = 1; s <= 3; ++s) {
+        const double d = detect_async(g, s);
+        if (d >= 0) xs.push_back(d);
+      }
+      std::sort(xs.begin(), xs.end());
+      const double med = xs.empty() ? 0 : xs[xs.size() / 2];
+      const double l = ceil_log2(n) + 1;
+      const double bound = g.max_degree() * l * l * l;
+      t.add_row({Table::num(std::uint64_t{n}), Table::num(med, 0),
+                 Table::num(bound, 0), Table::num(med / bound, 3)});
+    }
+    t.print();
+  }
+  std::puts("\n-- degree sweep at n = 128 --");
+  {
+    Table t({"max degree", "detect units (median of 3)"});
+    Rng rng(6);
+    for (std::uint32_t d : {3u, 6u, 12u, 24u}) {
+      auto g = gen::random_bounded_degree(128, d, 64, rng);
+      std::vector<double> xs;
+      for (std::uint64_t s = 1; s <= 3; ++s) {
+        const double x = detect_async(g, s);
+        if (x >= 0) xs.push_back(x);
+      }
+      std::sort(xs.begin(), xs.end());
+      const double med = xs.empty() ? 0 : xs[xs.size() / 2];
+      t.add_row({Table::num(std::uint64_t{g.max_degree()}),
+                 Table::num(med, 0)});
+    }
+    t.print();
+  }
+  return 0;
+}

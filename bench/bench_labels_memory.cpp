@@ -1,0 +1,41 @@
+// Experiment E8 (Section 5, Lemmas 5.2/5.4): label sizes and marker time.
+// Our scheme's labels stay O(log n) bits; the KKP 1-round scheme's labels
+// grow as Theta(log^2 n); the marker assigns everything in O(n).
+//
+// Shape to check: ours/log n flat; kkp/log^2 n flat; kkp/ours growing.
+
+#include <cstdio>
+
+#include "core/ssmst.hpp"
+#include "util/bits.hpp"
+#include "util/table.hpp"
+
+using namespace ssmst;
+
+int main() {
+  std::puts("== E8: proof label memory (ours vs KKP) and marker time ==");
+  Table t({"n", "ours bits", "ours/log n", "kkp bits", "kkp/(log n)^2",
+           "kkp/ours", "marker rounds", "marker/n"});
+  Rng rng(13);
+  for (NodeId n : {64u, 256u, 1024u, 4096u}) {
+    auto g = gen::random_connected(n, n / 2, rng);
+    auto m = make_labels(g);
+    Weight maxw = 0;
+    for (const Edge& e : g.edges()) maxw = std::max(maxw, e.w);
+    std::size_t ours = 0, kkp = 0;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      ours = std::max(ours, label_bits(m.labels[v], n, maxw, g.degree(v)));
+      kkp = std::max(kkp,
+                     kkp_label_bits(m.kkp_labels[v], n, maxw, g.degree(v)));
+    }
+    const double logn = ceil_log2(n) + 1;
+    t.add_row({Table::num(std::uint64_t{n}), Table::num(std::uint64_t{ours}),
+               Table::num(ours / logn, 1), Table::num(std::uint64_t{kkp}),
+               Table::num(kkp / (logn * logn), 2),
+               Table::num(double(kkp) / ours, 2),
+               Table::num(m.schedule_rounds),
+               Table::num(double(m.schedule_rounds) / n, 2)});
+  }
+  t.print();
+  return 0;
+}

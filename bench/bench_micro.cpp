@@ -1,0 +1,71 @@
+// Wall-clock micro-benchmarks (google-benchmark) for the library kernels:
+// reference MST, the full marker pipeline, one verifier round, and one
+// SYNC_MST simulation round. These measure the *simulator's* throughput,
+// not the distributed complexity (which the other benches report in
+// rounds/units).
+
+#include <benchmark/benchmark.h>
+
+#include "core/ssmst.hpp"
+
+namespace ssmst {
+namespace {
+
+const WeightedGraph& test_graph(NodeId n) {
+  static std::map<NodeId, WeightedGraph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    Rng rng(99);
+    it = cache.emplace(n, gen::random_connected(n, n, rng)).first;
+  }
+  return it->second;
+}
+
+void BM_Kruskal(benchmark::State& state) {
+  const auto& g = test_graph(static_cast<NodeId>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kruskal_mst_edges(g));
+  }
+}
+BENCHMARK(BM_Kruskal)->Arg(256)->Arg(1024);
+
+void BM_ReferenceHierarchy(benchmark::State& state) {
+  const auto& g = test_graph(static_cast<NodeId>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_reference_hierarchy(g));
+  }
+}
+BENCHMARK(BM_ReferenceHierarchy)->Arg(256)->Arg(1024);
+
+void BM_FullMarker(benchmark::State& state) {
+  const auto& g = test_graph(static_cast<NodeId>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_labels(g));
+  }
+}
+BENCHMARK(BM_FullMarker)->Arg(256)->Arg(1024);
+
+void BM_SyncMstFullRun(benchmark::State& state) {
+  const auto& g = test_graph(static_cast<NodeId>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_sync_mst(g));
+  }
+}
+BENCHMARK(BM_SyncMstFullRun)->Arg(256);
+
+void BM_VerifierRound(benchmark::State& state) {
+  const auto& g = test_graph(static_cast<NodeId>(state.range(0)));
+  VerifierConfig cfg;
+  VerifierHarness h(g, cfg, 1);
+  h.run(32);  // reach steady state
+  for (auto _ : state) {
+    h.sim().sync_round();
+  }
+  state.SetItemsProcessed(state.iterations() * g.n());
+}
+BENCHMARK(BM_VerifierRound)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace ssmst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file
+/// Umbrella header: the public API of the library.
+///
+/// The library reproduces Korman, Kutten & Masuzawa, "Fast and compact
+/// self-stabilizing verification, computation, and fault detection of an
+/// MST" (PODC 2011 / Distributed Computing 2015). The main entry points:
+///
+///  * run_sync_mst()            — Section 4's O(n)-time, O(log n)-bit
+///                                synchronous MST construction.
+///  * make_labels()             — the marker: hierarchy, partitions, and
+///                                all proof labels (Sections 5-6).
+///  * VerifierHarness           — the self-stabilizing verifier with
+///                                trains and comparisons (Sections 7-8),
+///                                plus detection-time/distance metrology.
+///  * SelfStabilizingMst        — the transformer of Section 10: the
+///                                O(log n)-bit, O(n)-time self-stabilizing
+///                                MST construction, with pluggable
+///                                checkers for baseline comparisons.
+///  * tau_transform()           — the lower-bound reduction of Section 9.
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/mst.hpp"
+#include "graph/tree.hpp"
+#include "hierarchy/checker.hpp"
+#include "hierarchy/fragment.hpp"
+#include "labels/labels.hpp"
+#include "labels/marker.hpp"
+#include "labels/verify1.hpp"
+#include "lowerbound/transform.hpp"
+#include "mstalgo/ghs_boruvka.hpp"
+#include "mstalgo/reference_hierarchy.hpp"
+#include "mstalgo/sync_mst.hpp"
+#include "partition/multiwave.hpp"
+#include "partition/partitions.hpp"
+#include "selfstab/baselines.hpp"
+#include "selfstab/reset.hpp"
+#include "selfstab/synchronizer.hpp"
+#include "selfstab/transformer.hpp"
+#include "sim/faults.hpp"
+#include "sim/protocol.hpp"
+#include "sim/simulation.hpp"
+#include "verify/metrology.hpp"
+#include "verify/verifier.hpp"
+
+namespace ssmst {
+
+/// End-to-end convenience: construct, mark and verify a graph's MST,
+/// returning a short human-readable report. Used by the quickstart.
+struct InstanceReport {
+  NodeId n = 0;
+  std::size_t m = 0;
+  Weight mst_weight = 0;
+  std::uint64_t construction_rounds = 0;
+  std::size_t construction_bits = 0;
+  int hierarchy_height = 0;
+  std::size_t fragment_count = 0;
+  std::size_t top_parts = 0;
+  std::size_t bottom_parts = 0;
+  std::size_t max_label_bits = 0;
+  bool verifier_quiet = false;  ///< no alarm during the probe window
+};
+
+InstanceReport analyze_instance(const WeightedGraph& g,
+                                std::uint64_t probe_units = 512);
+
+}  // namespace ssmst

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ssmst {
+
+/// Graph generators used as workloads by tests and benches. All generators
+/// produce connected graphs with pairwise-distinct edge weights (random
+/// permutations of 1..c*m so weights stay polynomial in n, as the paper's
+/// model requires).
+namespace gen {
+
+WeightedGraph path(NodeId n, Rng& rng);
+WeightedGraph cycle(NodeId n, Rng& rng);
+WeightedGraph grid(NodeId rows, NodeId cols, Rng& rng);
+WeightedGraph star(NodeId n, Rng& rng);
+WeightedGraph complete(NodeId n, Rng& rng);
+
+/// Spine of length `spine` with `legs` pendant nodes per spine node.
+WeightedGraph caterpillar(NodeId spine, NodeId legs, Rng& rng);
+
+/// Complete binary tree plus optional cross edges between random leaves.
+WeightedGraph binary_tree(NodeId n, NodeId extra_edges, Rng& rng);
+
+/// Uniform random spanning tree (random attachment) + `extra_edges` random
+/// chords. extra_edges is clamped to the number of available non-edges.
+WeightedGraph random_connected(NodeId n, NodeId extra_edges, Rng& rng);
+
+/// Random connected graph with maximum degree <= max_deg (>= 2).
+/// Built from a bounded-degree random tree plus chords respecting the cap.
+WeightedGraph random_bounded_degree(NodeId n, std::uint32_t max_deg,
+                                    NodeId extra_edges, Rng& rng);
+
+/// The 18-node running example analogous to the paper's Figure 1 (nodes
+/// named a..r; see examples/figure1_walkthrough). Deterministic.
+WeightedGraph figure1_example();
+
+/// Human-readable node name for the figure-1 example (a..r).
+std::string figure1_name(NodeId v);
+
+/// A named suite of (description, graph) pairs covering the families above,
+/// used by parameterized tests.
+struct NamedGraph {
+  std::string name;
+  WeightedGraph graph;
+};
+
+std::vector<NamedGraph> standard_suite(std::uint64_t seed);
+
+}  // namespace gen
+}  // namespace ssmst

@@ -1,0 +1,148 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace ssmst {
+
+WeightedGraph WeightedGraph::from_edges(NodeId n, std::vector<Edge> edges) {
+  WeightedGraph g;
+  g.adj_.assign(n, {});
+  std::set<std::pair<NodeId, NodeId>> seen;
+  g.edges_.reserve(edges.size());
+  for (Edge e : edges) {
+    if (e.u >= n || e.v >= n) {
+      throw std::invalid_argument("edge endpoint out of range");
+    }
+    if (e.u == e.v) {
+      throw std::invalid_argument("self-loop not allowed");
+    }
+    if (e.u > e.v) std::swap(e.u, e.v);
+    if (!seen.insert({e.u, e.v}).second) {
+      throw std::invalid_argument("duplicate edge");
+    }
+    const auto idx = static_cast<std::uint32_t>(g.edges_.size());
+    g.edges_.push_back(e);
+    const auto port_u = static_cast<std::uint32_t>(g.adj_[e.u].size());
+    const auto port_v = static_cast<std::uint32_t>(g.adj_[e.v].size());
+    g.adj_[e.u].push_back(HalfEdge{e.v, e.w, port_v, idx});
+    g.adj_[e.v].push_back(HalfEdge{e.u, e.w, port_u, idx});
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+  }
+  // Default identifiers: a fixed pseudo-random permutation of [0, n), so
+  // that ID order differs from index order (algorithms must not rely on
+  // index order). Deterministic so tests are stable.
+  g.ids_.resize(n);
+  for (NodeId v = 0; v < n; ++v) g.ids_[v] = v;
+  std::uint64_t s = 0x2545f4914f6cdd1dULL;
+  for (NodeId v = n; v > 1; --v) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    std::swap(g.ids_[v - 1], g.ids_[s % v]);
+  }
+  return g;
+}
+
+NodeId WeightedGraph::node_of_id(std::uint64_t id) const {
+  for (NodeId v = 0; v < n(); ++v) {
+    if (ids_[v] == id) return v;
+  }
+  return kNoNode;
+}
+
+void WeightedGraph::set_ids(std::vector<std::uint64_t> ids) {
+  if (ids.size() != adj_.size()) {
+    throw std::invalid_argument("id vector size mismatch");
+  }
+  std::set<std::uint64_t> uniq(ids.begin(), ids.end());
+  if (uniq.size() != ids.size()) {
+    throw std::invalid_argument("node identifiers must be unique");
+  }
+  ids_ = std::move(ids);
+}
+
+bool WeightedGraph::has_distinct_weights() const {
+  std::set<Weight> ws;
+  for (const Edge& e : edges_) {
+    if (!ws.insert(e.w).second) return false;
+  }
+  return true;
+}
+
+bool WeightedGraph::is_connected() const {
+  if (n() == 0) return true;
+  const auto dist = bfs_distances(0);
+  return std::none_of(dist.begin(), dist.end(), [](std::uint32_t d) {
+    return d == std::numeric_limits<std::uint32_t>::max();
+  });
+}
+
+std::uint32_t WeightedGraph::port_to(NodeId v, NodeId u) const {
+  for (std::uint32_t p = 0; p < adj_[v].size(); ++p) {
+    if (adj_[v][p].to == u) return p;
+  }
+  return std::numeric_limits<std::uint32_t>::max();
+}
+
+std::vector<std::uint32_t> WeightedGraph::bfs_distances(NodeId src) const {
+  std::vector<std::uint32_t> dist(n(),
+                                  std::numeric_limits<std::uint32_t>::max());
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (const HalfEdge& he : adj_[v]) {
+      if (dist[he.to] == std::numeric_limits<std::uint32_t>::max()) {
+        dist[he.to] = dist[v] + 1;
+        q.push(he.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t WeightedGraph::hop_diameter() const {
+  std::uint32_t diam = 0;
+  for (NodeId v = 0; v < n(); ++v) {
+    for (std::uint32_t d : bfs_distances(v)) {
+      if (d != std::numeric_limits<std::uint32_t>::max()) {
+        diam = std::max(diam, d);
+      }
+    }
+  }
+  return diam;
+}
+
+std::string WeightedGraph::summary() const {
+  std::ostringstream os;
+  os << "graph(n=" << n() << ", m=" << m() << ", maxdeg=" << max_degree_
+     << ")";
+  return os.str();
+}
+
+std::vector<CompositeWeight> omega_prime(const WeightedGraph& g,
+                                         const std::vector<bool>& in_tree) {
+  std::vector<CompositeWeight> out(g.m());
+  for (std::uint32_t e = 0; e < g.m(); ++e) {
+    const Edge& edge = g.edge(e);
+    const std::uint64_t iu = g.id(edge.u);
+    const std::uint64_t iv = g.id(edge.v);
+    out[e] = CompositeWeight{
+        edge.w,
+        static_cast<std::uint8_t>(in_tree[e] ? 0 : 1),
+        std::min(iu, iv),
+        std::max(iu, iv),
+    };
+  }
+  return out;
+}
+
+}  // namespace ssmst

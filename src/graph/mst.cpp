@@ -1,0 +1,164 @@
+#include "graph/mst.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace ssmst {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), rank_(n, 0), components_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+NodeId UnionFind::find(NodeId v) {
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];
+    v = parent_[v];
+  }
+  return v;
+}
+
+bool UnionFind::unite(NodeId a, NodeId b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = a;
+  if (rank_[a] == rank_[b]) ++rank_[a];
+  --components_;
+  return true;
+}
+
+std::vector<std::uint32_t> kruskal_mst_edges(const WeightedGraph& g) {
+  if (!g.is_connected()) {
+    throw std::invalid_argument("kruskal: graph must be connected");
+  }
+  // Sort by omega-prime with empty candidate tree: (w, 1, IDmin, IDmax).
+  // For distinct weights this is plain weight order.
+  std::vector<CompositeWeight> key =
+      omega_prime(g, std::vector<bool>(g.m(), false));
+  std::vector<std::uint32_t> order(g.m());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return key[a] < key[b]; });
+  UnionFind uf(g.n());
+  std::vector<std::uint32_t> tree;
+  tree.reserve(g.n() > 0 ? g.n() - 1 : 0);
+  for (std::uint32_t e : order) {
+    if (uf.unite(g.edge(e).u, g.edge(e).v)) {
+      tree.push_back(e);
+      if (tree.size() + 1 == g.n()) break;
+    }
+  }
+  return tree;
+}
+
+namespace {
+
+RootedTree tree_from_edge_set(const WeightedGraph& g,
+                              const std::vector<bool>& in_tree, NodeId root) {
+  std::vector<NodeId> parent(g.n(), kNoNode);
+  std::vector<bool> seen(g.n(), false);
+  std::queue<NodeId> q;
+  q.push(root);
+  seen[root] = true;
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (const HalfEdge& he : g.neighbors(v)) {
+      if (in_tree[he.edge_index] && !seen[he.to]) {
+        seen[he.to] = true;
+        parent[he.to] = v;
+        q.push(he.to);
+      }
+    }
+  }
+  return RootedTree::from_parents(g, root, parent);
+}
+
+}  // namespace
+
+RootedTree kruskal_mst_tree(const WeightedGraph& g, NodeId root) {
+  std::vector<bool> in_tree(g.m(), false);
+  for (std::uint32_t e : kruskal_mst_edges(g)) in_tree[e] = true;
+  return tree_from_edge_set(g, in_tree, root);
+}
+
+bool is_spanning_tree(const WeightedGraph& g,
+                      const std::vector<bool>& in_tree) {
+  std::size_t count = 0;
+  UnionFind uf(g.n());
+  for (std::uint32_t e = 0; e < g.m(); ++e) {
+    if (!in_tree[e]) continue;
+    ++count;
+    if (!uf.unite(g.edge(e).u, g.edge(e).v)) return false;  // cycle
+  }
+  return count + 1 == g.n() && uf.component_count() == 1;
+}
+
+bool is_mst(const WeightedGraph& g, const std::vector<bool>& in_tree) {
+  if (!is_spanning_tree(g, in_tree)) return false;
+  const std::vector<CompositeWeight> key = omega_prime(g, in_tree);
+  const RootedTree t = tree_from_edge_set(g, in_tree, 0);
+  // Cycle property: every non-tree edge must be maximal (under omega-prime)
+  // on the tree path between its endpoints.
+  for (std::uint32_t e = 0; e < g.m(); ++e) {
+    if (in_tree[e]) continue;
+    NodeId x = g.edge(e).u;
+    NodeId y = g.edge(e).v;
+    // Walk the tree path via depths; compare each tree edge's key.
+    while (x != y) {
+      NodeId* deeper = t.depth(x) >= t.depth(y) ? &x : &y;
+      const NodeId child = *deeper;
+      const std::uint32_t tree_edge =
+          t.graph().half_edge(child, t.parent_port(child)).edge_index;
+      if (key[tree_edge] > key[e]) return false;
+      *deeper = t.parent(child);
+    }
+  }
+  return true;
+}
+
+bool is_mst(const RootedTree& tree) {
+  return is_mst(tree.graph(), tree.tree_edge_bitmap());
+}
+
+bool make_non_mst_spanning_tree(const WeightedGraph& g,
+                                std::vector<bool>& in_tree_out) {
+  std::vector<bool> mst(g.m(), false);
+  for (std::uint32_t e : kruskal_mst_edges(g)) mst[e] = true;
+  const std::vector<CompositeWeight> key = omega_prime(g, mst);
+  const RootedTree t = tree_from_edge_set(g, mst, 0);
+  // Pick any non-tree edge e; removing the heaviest tree edge on the path
+  // between its endpoints and inserting e yields a strictly worse spanning
+  // tree (weights are distinct under omega-prime).
+  for (std::uint32_t e = 0; e < g.m(); ++e) {
+    if (mst[e]) continue;
+    NodeId x = g.edge(e).u;
+    NodeId y = g.edge(e).v;
+    std::uint32_t heaviest = std::numeric_limits<std::uint32_t>::max();
+    while (x != y) {
+      NodeId* deeper = t.depth(x) >= t.depth(y) ? &x : &y;
+      const NodeId child = *deeper;
+      const std::uint32_t tree_edge =
+          t.graph().half_edge(child, t.parent_port(child)).edge_index;
+      if (heaviest == std::numeric_limits<std::uint32_t>::max() ||
+          key[tree_edge] > key[heaviest]) {
+        heaviest = tree_edge;
+      }
+      *deeper = t.parent(child);
+    }
+    if (heaviest != std::numeric_limits<std::uint32_t>::max() &&
+        key[heaviest] < key[e]) {
+      mst[heaviest] = false;
+      mst[e] = true;
+      in_tree_out = std::move(mst);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ssmst

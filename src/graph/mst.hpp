@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+
+namespace ssmst {
+
+/// Union-find with union by rank and path compression; used by Kruskal and
+/// by several test oracles.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+  NodeId find(NodeId v);
+  /// Returns false if already in the same set.
+  bool unite(NodeId a, NodeId b);
+  std::size_t component_count() const { return components_; }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::size_t components_;
+};
+
+/// Kruskal's algorithm; the centralized ground truth every distributed
+/// construction is tested against. Requires a connected graph. Ties are
+/// broken by omega-prime order so the result is unique even with duplicate
+/// weights.
+std::vector<std::uint32_t> kruskal_mst_edges(const WeightedGraph& g);
+
+/// The MST as a RootedTree rooted at `root` (default: node 0).
+RootedTree kruskal_mst_tree(const WeightedGraph& g, NodeId root = 0);
+
+/// True iff the given tree-edge bitmap (over g.edges()) is a spanning tree.
+bool is_spanning_tree(const WeightedGraph& g,
+                      const std::vector<bool>& in_tree);
+
+/// True iff the given spanning tree is a *minimum* spanning tree, checked
+/// via the cycle property under omega-prime order: for every non-tree edge
+/// e, e must be the heaviest edge on the tree cycle it closes.
+bool is_mst(const WeightedGraph& g, const std::vector<bool>& in_tree);
+
+/// Convenience overload.
+bool is_mst(const RootedTree& tree);
+
+/// A spanning tree that is *not* an MST (when one exists): swaps one MST
+/// edge for a heavier non-tree edge on its fundamental cut. Returns false
+/// if the graph is itself a tree (no swap possible).
+bool make_non_mst_spanning_tree(const WeightedGraph& g,
+                                std::vector<bool>& in_tree_out);
+
+}  // namespace ssmst

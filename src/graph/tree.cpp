@@ -1,0 +1,128 @@
+#include "graph/tree.hpp"
+
+#include <algorithm>
+#include <stack>
+#include <stdexcept>
+
+namespace ssmst {
+
+RootedTree RootedTree::from_parents(const WeightedGraph& g, NodeId root,
+                                    const std::vector<NodeId>& parent) {
+  const NodeId n = g.n();
+  if (parent.size() != n) {
+    throw std::invalid_argument("parent vector size mismatch");
+  }
+  if (root >= n || parent[root] != kNoNode) {
+    throw std::invalid_argument("invalid root");
+  }
+  RootedTree t;
+  t.g_ = &g;
+  t.root_ = root;
+  t.parent_ = parent;
+  t.parent_port_.assign(n, 0);
+  t.parent_weight_.assign(n, 0);
+  t.children_.assign(n, {});
+  t.depth_.assign(n, 0);
+  t.subtree_size_.assign(n, 1);
+  t.edge_in_tree_.assign(g.m(), false);
+
+  std::size_t tree_edges = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == root) continue;
+    const NodeId p = parent[v];
+    if (p >= n) throw std::invalid_argument("parent out of range");
+    const std::uint32_t port = g.port_to(v, p);
+    if (port == std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument("parent edge not in graph");
+    }
+    t.parent_port_[v] = port;
+    const HalfEdge& he = g.half_edge(v, port);
+    t.parent_weight_[v] = he.w;
+    t.edge_in_tree_[he.edge_index] = true;
+    t.children_[p].push_back(v);
+    ++tree_edges;
+  }
+  if (tree_edges != static_cast<std::size_t>(n) - 1) {
+    throw std::invalid_argument("parent pointers do not form n-1 edges");
+  }
+  // Children in port order at the parent: sort by the parent's port leading
+  // to the child so that DFS order is locally computable from ports alone
+  // (the train's DFS pipeline relies on this, Section 6.2).
+  for (NodeId v = 0; v < n; ++v) {
+    std::sort(t.children_[v].begin(), t.children_[v].end(),
+              [&](NodeId a, NodeId b) {
+                return g.port_to(v, a) < g.port_to(v, b);
+              });
+  }
+  // Iterative DFS computing order, depth, subtree sizes, tin/tout.
+  t.dfs_pre_.reserve(n);
+  t.dfs_index_.assign(n, 0);
+  t.tin_.assign(n, 0);
+  t.tout_.assign(n, 0);
+  std::uint32_t timer = 0;
+  std::size_t visited = 0;
+  std::stack<std::pair<NodeId, std::size_t>> st;
+  st.push({root, 0});
+  t.tin_[root] = timer++;
+  t.dfs_index_[root] = static_cast<std::uint32_t>(t.dfs_pre_.size());
+  t.dfs_pre_.push_back(root);
+  ++visited;
+  while (!st.empty()) {
+    auto& [v, ci] = st.top();
+    if (ci < t.children_[v].size()) {
+      const NodeId c = t.children_[v][ci++];
+      t.depth_[c] = t.depth_[v] + 1;
+      t.height_ = std::max(t.height_, t.depth_[c]);
+      t.tin_[c] = timer++;
+      t.dfs_index_[c] = static_cast<std::uint32_t>(t.dfs_pre_.size());
+      t.dfs_pre_.push_back(c);
+      ++visited;
+      st.push({c, 0});
+    } else {
+      t.tout_[v] = timer++;
+      st.pop();
+      if (!st.empty()) {
+        t.subtree_size_[st.top().first] += t.subtree_size_[v];
+      }
+    }
+  }
+  if (visited != n) {
+    throw std::invalid_argument("parent pointers contain a cycle");
+  }
+  return t;
+}
+
+bool RootedTree::is_ancestor(NodeId anc, NodeId v) const {
+  return tin_[anc] <= tin_[v] && tout_[v] <= tout_[anc];
+}
+
+Weight RootedTree::total_weight() const {
+  Weight sum = 0;
+  for (NodeId v = 0; v < n(); ++v) {
+    if (v != root_) sum += parent_weight_[v];
+  }
+  return sum;
+}
+
+std::uint32_t RootedTree::tree_distance(NodeId a, NodeId b) const {
+  // Walk up from the deeper node; O(depth), fine for analysis code.
+  std::uint32_t dist = 0;
+  NodeId x = a;
+  NodeId y = b;
+  while (depth_[x] > depth_[y]) {
+    x = parent_[x];
+    ++dist;
+  }
+  while (depth_[y] > depth_[x]) {
+    y = parent_[y];
+    ++dist;
+  }
+  while (x != y) {
+    x = parent_[x];
+    y = parent_[y];
+    dist += 2;
+  }
+  return dist;
+}
+
+}  // namespace ssmst

@@ -1,0 +1,33 @@
+#include "hierarchy/checker.hpp"
+
+#include <sstream>
+
+namespace ssmst {
+
+std::string check_minimality(const FragmentHierarchy& h) {
+  std::ostringstream err;
+  for (std::uint32_t f = 0; f < h.fragment_count(); ++f) {
+    if (f == h.top()) continue;
+    const Fragment& frag = h.fragment(f);
+    const auto min_out = h.min_outgoing_edge(f);
+    if (!min_out) {
+      err << "fragment " << f << " has no outgoing edge but is not the top";
+      return err.str();
+    }
+    if (frag.cand_weight != min_out->w) {
+      err << "fragment " << f << " (level " << frag.level
+          << ") selected weight " << frag.cand_weight
+          << " but min outgoing weight is " << min_out->w;
+      return err.str();
+    }
+  }
+  return {};
+}
+
+std::string check_hierarchy_certifies_mst(const FragmentHierarchy& h) {
+  if (auto e = h.validate(); !e.empty()) return "well-forming: " + e;
+  if (auto e = check_minimality(h); !e.empty()) return "minimality: " + e;
+  return {};
+}
+
+}  // namespace ssmst

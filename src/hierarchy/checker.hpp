@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "hierarchy/fragment.hpp"
+
+namespace ssmst {
+
+/// Centralized oracles over a hierarchy, used by tests and by the marker.
+
+/// Property P2 (Minimality, Section 3.2): every fragment's candidate edge
+/// is the minimum-weight outgoing edge of that fragment.
+/// Returns an error description, empty if the property holds.
+std::string check_minimality(const FragmentHierarchy& h);
+
+/// Property P1 (Well-Forming) is FragmentHierarchy::validate(); this
+/// combines both and hence — by Lemma 5.1 — certifies that the tree is an
+/// MST when it returns empty.
+std::string check_hierarchy_certifies_mst(const FragmentHierarchy& h);
+
+}  // namespace ssmst

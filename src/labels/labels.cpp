@@ -1,0 +1,48 @@
+#include "labels/labels.hpp"
+
+#include "util/bits.hpp"
+
+namespace ssmst {
+
+namespace {
+
+std::size_t piece_bits(NodeId n, Weight max_weight) {
+  return static_cast<std::size_t>(bits_for_values(std::max<NodeId>(n, 2))) +
+         bits_for_counter(ceil_log2(std::max<NodeId>(n, 2)) + 1) +
+         bits_for_counter(max_weight | 1);
+}
+
+}  // namespace
+
+std::size_t label_bits(const NodeLabels& l, NodeId n, Weight max_weight,
+                       std::uint32_t degree) {
+  (void)degree;
+  const std::size_t id_bits = bits_for_values(std::max<NodeId>(n, 2));
+  const std::size_t n_bits = bits_for_counter(n);
+  const std::size_t lvl_bits =
+      bits_for_counter(ceil_log2(std::max<NodeId>(n, 2)) + 1);
+  std::size_t bits = 0;
+  bits += 3 * id_bits + n_bits;            // SP
+  bits += 2 * n_bits;                      // NumK
+  bits += l.roots.size() * 2;              // Roots entries
+  bits += l.endp.size() * 2;               // EndP entries
+  bits += l.parents.size() * 1;            // Parents bits
+  bits += l.endp_cnt.size() * 2;           // counting sub-scheme
+  bits += 2 * id_bits + 2 * n_bits;        // part roots + depths
+  bits += 2 * lvl_bits + lvl_bits;         // piece counts + delimiter
+  bits += lvl_bits;                        // packing constant
+  bits += (l.top_perm.size() + l.bot_perm.size()) * piece_bits(n, max_weight);
+  return bits;
+}
+
+std::size_t kkp_label_bits(const KkpLabels& l, NodeId n, Weight max_weight,
+                           std::uint32_t degree) {
+  std::size_t bits = label_bits(l.base, n, max_weight, degree);
+  for (const auto& p : l.pieces) {
+    bits += 1;  // presence bit
+    if (p) bits += piece_bits(n, max_weight);
+  }
+  return bits;
+}
+
+}  // namespace ssmst

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/partitions.hpp"
+
+namespace ssmst {
+
+/// Entry of the Roots string (Section 5.2).
+enum class RootsEntry : std::uint8_t {
+  kStar = 0,  ///< no fragment of this level contains the node
+  kZero = 1,  ///< in a fragment of this level, not as its root
+  kOne = 2,   ///< root of the fragment of this level
+};
+
+/// Entry of the EndP string (Section 5.3).
+enum class EndpEntry : std::uint8_t {
+  kStar = 0,  ///< no fragment of this level
+  kNone = 1,  ///< in a fragment, not an endpoint of its candidate
+  kUp = 2,    ///< candidate leads to the node's tree parent
+  kDown = 3,  ///< candidate leads to one of the node's tree children
+};
+
+/// The complete marker output for one node: all proof labels of the
+/// scheme, O(log n) bits in total. A register holding these labels is
+/// corruptible by the adversary like any other state.
+struct NodeLabels {
+  // --- Example SP (spanning tree) + the identity remark -------------------
+  std::uint64_t sp_root_id = 0;  ///< claimed identity of T's root
+  std::uint32_t sp_dist = 0;     ///< claimed hop distance to T's root
+  std::uint64_t self_id = 0;     ///< claimed own identity
+  std::uint64_t parent_id = 0;   ///< claimed identity of the tree parent
+
+  // --- Example NumK (number of nodes) --------------------------------------
+  std::uint32_t n_claim = 0;       ///< claimed n, equal network-wide
+  std::uint32_t subtree_count = 0;  ///< nodes in my T-subtree
+
+  // --- Hierarchy strings (Sections 5.2-5.3), all of length ell+1 ----------
+  std::vector<RootsEntry> roots;
+  std::vector<EndpEntry> endp;
+  std::vector<std::uint8_t> parents;   ///< 0/1 per level
+  /// EPS1 counting sub-scheme (the Or-EndP aggregation of Table 2): number
+  /// of candidate-endpoint nodes in my fragment-subtree per level, capped
+  /// at 2 ("more than one" is already a violation).
+  std::vector<std::uint8_t> endp_cnt;
+
+  // --- Partitions (Section 6) ----------------------------------------------
+  std::uint64_t top_part_root_id = 0;
+  std::uint32_t top_part_depth = 0;   ///< hop distance to the part root
+  std::uint32_t top_piece_count = 0;  ///< pieces circulating in my top part
+  std::uint64_t bot_part_root_id = 0;
+  std::uint32_t bot_part_depth = 0;
+  std::uint32_t bot_piece_count = 0;
+  std::uint32_t delim = 0;  ///< J(v) split: levels >= delim are top
+  /// Pieces stored per node (the paper's packing constant, 2 by default;
+  /// larger trades memory for shorter trains — the Section 1.3 extension).
+  std::uint32_t pack = 2;
+
+  // --- Permanent train pieces (Section 6.2, pair Pc(dfs index)) -----------
+  std::vector<Piece> top_perm;  ///< at most `pack`
+  std::vector<Piece> bot_perm;  ///< at most `pack`
+
+  std::size_t string_length() const { return roots.size(); }
+};
+
+/// Semantic bit size of a label (ids, counters and pieces costed at their
+/// natural widths given n and the maximum weight).
+std::size_t label_bits(const NodeLabels& l, NodeId n, Weight max_weight,
+                       std::uint32_t degree);
+
+/// Labels of the KKP O(log^2 n)-bit 1-round scheme ([54,55], recalled in
+/// Section 3.1): the base labels plus the *full* table of pieces I(F_j(v))
+/// for every level — the memory the present paper's scheme avoids.
+struct KkpLabels {
+  NodeLabels base;
+  std::vector<std::optional<Piece>> pieces;  ///< indexed by level
+};
+
+std::size_t kkp_label_bits(const KkpLabels& l, NodeId n, Weight max_weight,
+                           std::uint32_t degree);
+
+}  // namespace ssmst

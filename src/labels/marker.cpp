@@ -1,0 +1,138 @@
+#include "labels/marker.hpp"
+
+#include <algorithm>
+
+namespace ssmst {
+
+std::vector<std::uint32_t> MarkerOutput::parent_ports() const {
+  const WeightedGraph& g = tree->graph();
+  std::vector<std::uint32_t> ports(g.n(),
+                                   std::numeric_limits<std::uint32_t>::max());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (v != tree->root()) ports[v] = tree->parent_port(v);
+  }
+  return ports;
+}
+
+namespace {
+
+MarkerOutput assemble(const WeightedGraph& g, ReferenceResult ref,
+                      std::uint32_t pack) {
+  MarkerOutput out;
+  out.tree = std::move(ref.tree);
+  out.hierarchy = std::move(ref.hierarchy);
+  out.schedule_rounds = ref.schedule_rounds;
+  out.partitions = build_partitions(*out.hierarchy, pack);
+
+  const RootedTree& t = *out.tree;
+  const FragmentHierarchy& h = *out.hierarchy;
+  const Partitions& parts = out.partitions;
+  const NodeId n = g.n();
+  const auto len = static_cast<std::size_t>(h.height()) + 1;
+
+  out.labels.assign(n, {});
+  for (NodeId v = 0; v < n; ++v) {
+    NodeLabels& l = out.labels[v];
+    l.sp_root_id = g.id(t.root());
+    l.sp_dist = t.depth(v);
+    l.self_id = g.id(v);
+    l.parent_id = v == t.root() ? g.id(v) : g.id(t.parent(v));
+    l.n_claim = n;
+    l.subtree_count = t.subtree_size(v);
+
+    l.roots.assign(len, RootsEntry::kStar);
+    l.endp.assign(len, EndpEntry::kStar);
+    l.parents.assign(len, 0);
+    l.endp_cnt.assign(len, 0);
+    for (const auto& [lev, f] : h.membership(v)) {
+      const Fragment& frag = h.fragment(f);
+      const auto j = static_cast<std::size_t>(lev);
+      l.roots[j] = frag.root == v ? RootsEntry::kOne : RootsEntry::kZero;
+      if (!frag.has_candidate) {
+        l.endp[j] = EndpEntry::kNone;
+      } else if (frag.cand_inside != v) {
+        l.endp[j] = EndpEntry::kNone;
+      } else if (v != t.root() && frag.cand_outside == t.parent(v)) {
+        l.endp[j] = EndpEntry::kUp;
+      } else {
+        l.endp[j] = EndpEntry::kDown;
+      }
+    }
+    if (v != t.root()) {
+      const NodeId y = t.parent(v);
+      for (const auto& [lev, f] : h.membership(y)) {
+        const Fragment& frag = h.fragment(f);
+        if (frag.has_candidate && frag.cand_inside == y &&
+            frag.cand_outside == v) {
+          l.parents[static_cast<std::size_t>(lev)] = 1;
+        }
+      }
+    }
+
+    const auto& tpart = parts.top_parts[parts.top_part_of[v]];
+    const auto& bpart = parts.bot_parts[parts.bot_part_of[v]];
+    l.top_part_root_id = g.id(tpart.root);
+    l.bot_part_root_id = g.id(bpart.root);
+    l.top_piece_count = static_cast<std::uint32_t>(tpart.pieces.size());
+    l.bot_piece_count = static_cast<std::uint32_t>(bpart.pieces.size());
+    l.top_part_depth = t.depth(v) - t.depth(tpart.root);
+    l.bot_part_depth = t.depth(v) - t.depth(bpart.root);
+    l.delim = parts.delim[v];
+    l.pack = parts.pack;
+    l.top_perm = parts.perm_top_pieces(v);
+    l.bot_perm = parts.perm_bot_pieces(v);
+  }
+
+  // EPS1 counting sub-scheme: per fragment, aggregate the number of
+  // candidate-endpoint members within each node's fragment-subtree.
+  for (std::uint32_t f = 0; f < h.fragment_count(); ++f) {
+    const Fragment& frag = h.fragment(f);
+    const auto j = static_cast<std::size_t>(frag.level);
+    std::vector<NodeId> members = frag.nodes;
+    std::sort(members.begin(), members.end(), [&](NodeId a, NodeId b) {
+      return t.dfs_index(a) > t.dfs_index(b);  // children before parents
+    });
+    for (NodeId v : members) {
+      std::uint32_t cnt =
+          out.labels[v].endp[j] == EndpEntry::kUp ||
+                  out.labels[v].endp[j] == EndpEntry::kDown
+              ? 1
+              : 0;
+      for (NodeId c : t.children(v)) {
+        if (frag.contains(c)) cnt += out.labels[c].endp_cnt[j];
+      }
+      out.labels[v].endp_cnt[j] = static_cast<std::uint8_t>(std::min(cnt, 2u));
+    }
+  }
+
+  // KKP baseline labels: the same base plus the full piece table.
+  out.kkp_labels.assign(n, {});
+  for (NodeId v = 0; v < n; ++v) {
+    out.kkp_labels[v].base = out.labels[v];
+    out.kkp_labels[v].pieces.assign(len, std::nullopt);
+    for (const auto& [lev, f] : h.membership(v)) {
+      const Fragment& frag = h.fragment(f);
+      Piece p;
+      p.root_id = g.id(frag.root);
+      p.level = static_cast<std::uint32_t>(lev);
+      p.min_out_w =
+          frag.has_candidate ? frag.cand_weight : Piece::kNoOutgoing;
+      out.kkp_labels[v].pieces[static_cast<std::size_t>(lev)] = p;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MarkerOutput make_labels(const WeightedGraph& g, std::uint32_t pack) {
+  return assemble(g, build_reference_hierarchy(g), pack);
+}
+
+MarkerOutput make_labels_for_tree(const WeightedGraph& g,
+                                  const std::vector<bool>& in_tree,
+                                  std::uint32_t pack) {
+  return assemble(g, build_hierarchy_on_tree(g, in_tree), pack);
+}
+
+}  // namespace ssmst

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "labels/labels.hpp"
+
+namespace ssmst {
+
+/// Port-indexed access to neighbours' labels and components, as one node
+/// sees them through its registers during verification.
+class LabelReader {
+ public:
+  virtual ~LabelReader() = default;
+  virtual const NodeLabels& labels(std::uint32_t port) const = 0;
+  /// The neighbour's component: its claimed parent port (kNoPort if it
+  /// claims to be the tree root).
+  virtual std::uint32_t parent_port(std::uint32_t port) const = 0;
+};
+
+/// All 1-round label checks of the scheme: Example SP (+ identity remark),
+/// Example NumK, the Roots-string conditions RS0–RS5, the candidate-string
+/// conditions EPS0–EPS5 with the EPS1 counting sub-scheme, the
+/// partition-existence and part-shape checks of Section 8, and the
+/// permanent-piece sanity checks.
+///
+/// Returns the first violated condition as a human-readable string, or an
+/// empty string when every check passes. Purely local: reads only v's own
+/// register and its neighbours' registers.
+std::string verify_labels_1round(const WeightedGraph& g, NodeId v,
+                                 const NodeLabels& own,
+                                 std::uint32_t own_parent_port,
+                                 const LabelReader& nbr);
+
+/// The comparison performed when event E(v, u, j) occurs (Sections 7.2/8):
+/// checks C1 and C2 plus the piece-equality and root-identity checks of
+/// Claims 8.2/8.3.
+///
+/// `mine` is the (possibly absent) piece I(F_j(v)) currently held by v;
+/// `theirs` is I(F_j(u)) as shown by the neighbour behind `port`.
+/// Absent (nullopt) means "no fragment of level j contains the node".
+std::string check_pair_event(const WeightedGraph& g, NodeId v,
+                             std::uint32_t port, std::uint32_t j,
+                             const NodeLabels& own,
+                             std::uint32_t own_parent_port,
+                             const NodeLabels& their,
+                             std::uint32_t their_parent_port,
+                             const std::optional<Piece>& mine,
+                             const std::optional<Piece>& theirs);
+
+/// Port-indexed access to neighbours' KKP labels.
+class KkpReader {
+ public:
+  virtual ~KkpReader() = default;
+  virtual const KkpLabels& labels(std::uint32_t port) const = 0;
+  virtual std::uint32_t parent_port(std::uint32_t port) const = 0;
+};
+
+/// The KKP 1-round verifier ([54,55]): base checks plus instant pair
+/// comparisons for every level against every neighbour, using the full
+/// piece tables. Detection time 1, memory O(log^2 n).
+std::string verify_kkp_1round(const WeightedGraph& g, NodeId v,
+                              const KkpLabels& own,
+                              std::uint32_t own_parent_port,
+                              const KkpReader& nbr);
+
+}  // namespace ssmst

@@ -1,0 +1,86 @@
+#include "lowerbound/transform.hpp"
+
+#include <stdexcept>
+
+namespace ssmst {
+
+TauTransform tau_transform(const WeightedGraph& g,
+                           const std::vector<bool>& in_tree,
+                           std::uint32_t tau) {
+  const std::uint32_t path_len = 2 * tau + 2;  // nodes per replaced edge
+  const std::uint32_t fillers = path_len - 2;  // new nodes per edge
+
+  TauTransform out;
+  out.tau = tau;
+  const NodeId n_orig = g.n();
+  const NodeId n_new = n_orig + static_cast<NodeId>(g.m()) * fillers;
+  out.origin.assign(n_new, kNoNode);
+  for (NodeId v = 0; v < n_orig; ++v) out.origin[v] = v;
+
+  // First pass: lay out the paths; carrier edges keep the original weight,
+  // filler edges get a placeholder resolved in the second pass.
+  constexpr Weight kFiller = ~Weight{0};
+  std::vector<Edge> edges;
+  std::vector<bool> tree_bits;
+  NodeId next = n_orig;
+  std::size_t filler_count = 0;
+  for (std::uint32_t e = 0; e < g.m(); ++e) {
+    const Edge& orig = g.edge(e);
+    // Orient the path from the smaller-identifier endpoint.
+    NodeId a = orig.u;
+    NodeId b = orig.v;
+    if (g.id(a) > g.id(b)) std::swap(a, b);
+    std::vector<NodeId> chain;
+    chain.push_back(a);
+    for (std::uint32_t i = 0; i < fillers; ++i) chain.push_back(next++);
+    chain.push_back(b);
+    const std::uint32_t mid = tau;  // edge (chain[tau], chain[tau+1])
+    for (std::uint32_t i = 0; i + 1 < chain.size(); ++i) {
+      const bool is_mid = i == mid;
+      const bool carrier =
+          in_tree[e] ? (i + 2 == chain.size()) : is_mid;
+      edges.push_back(Edge{chain[i], chain[i + 1],
+                           carrier ? orig.w : kFiller});
+      if (!carrier) ++filler_count;
+      tree_bits.push_back(in_tree[e] || !is_mid);
+    }
+  }
+  // Second pass: filler edges get distinct weights 1..F, strictly below
+  // every carrier weight scaled by F+2; the relative order of carriers is
+  // unchanged, so the cycle-property comparisons of Lemma 9.1 transfer.
+  const Weight scale = static_cast<Weight>(filler_count) + 2;
+  Weight next_filler = 1;
+  for (Edge& e2 : edges) {
+    e2.w = e2.w == kFiller ? next_filler++ : e2.w * scale;
+  }
+  out.graph = WeightedGraph::from_edges(n_new, std::move(edges));
+  out.in_tree = std::move(tree_bits);
+  return out;
+}
+
+WeightedGraph hard_family(std::uint32_t h, Rng& rng) {
+  // Complete binary tree of depth h; leaves paired with a heavy cross edge
+  // between siblings. Tree-edge weights are light; each cross edge is
+  // heavier than its cycle iff a random coin says so — verification must
+  // resolve each leaf pair independently.
+  const NodeId internal = (NodeId{1} << h) - 1;
+  const NodeId leaves = NodeId{1} << h;
+  const NodeId n = internal + leaves;
+  std::vector<Edge> edges;
+  Weight next_w = 1;
+  for (NodeId v = 1; v < n; ++v) {
+    edges.push_back(Edge{(v - 1) / 2, v, next_w});
+    next_w += 1 + rng.below(3);
+  }
+  // Cross edges between sibling leaves: heavier than every tree edge and
+  // pairwise distinct (each pair draws from its own disjoint weight band).
+  const Weight base = next_w + 10;
+  Weight band = 0;
+  for (NodeId leaf = internal; leaf + 1 < n; leaf += 2) {
+    edges.push_back(Edge{leaf, leaf + 1, base + band + rng.below(1000)});
+    band += 1001;
+  }
+  return WeightedGraph::from_edges(n, std::move(edges));
+}
+
+}  // namespace ssmst

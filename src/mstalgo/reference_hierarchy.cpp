@@ -1,0 +1,216 @@
+#include "mstalgo/reference_hierarchy.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <tuple>
+
+#include "util/bits.hpp"
+
+namespace ssmst {
+
+namespace {
+
+using EdgeKey = std::tuple<Weight, std::uint64_t, std::uint64_t>;
+
+EdgeKey edge_key(const WeightedGraph& g, NodeId a, NodeId b, Weight w) {
+  const std::uint64_t ia = g.id(a);
+  const std::uint64_t ib = g.id(b);
+  return {w, std::min(ia, ib), std::max(ia, ib)};
+}
+
+struct Forest {
+  std::vector<NodeId> parent;  // kNoNode for roots
+
+  explicit Forest(NodeId n) : parent(n, kNoNode) {}
+
+  NodeId root_of(NodeId v) const {
+    while (parent[v] != kNoNode) v = parent[v];
+    return v;
+  }
+
+  /// Members of the fragment rooted at r (O(n); the twin is analysis code).
+  std::vector<NodeId> members(NodeId r) const {
+    std::vector<NodeId> out;
+    for (NodeId v = 0; v < parent.size(); ++v) {
+      if (root_of(v) == r) out.push_back(v);
+    }
+    return out;
+  }
+
+  /// Reverses parent pointers along the path from the current root to w,
+  /// making w the fragment's root (the paper's "change-root" transfer).
+  void reroot_at(NodeId w) {
+    NodeId prev = kNoNode;
+    NodeId cur = w;
+    while (cur != kNoNode) {
+      const NodeId next = parent[cur];
+      parent[cur] = prev;
+      prev = cur;
+      cur = next;
+    }
+  }
+};
+
+struct Selection {
+  NodeId inside = kNoNode;   // w: endpoint inside the fragment
+  NodeId outside = kNoNode;  // x: endpoint outside
+  Weight w = 0;
+};
+
+ReferenceResult build_hierarchy_impl(const WeightedGraph& g,
+                                     const std::vector<bool>* allowed);
+
+}  // namespace
+
+ReferenceResult build_reference_hierarchy(const WeightedGraph& g) {
+  return build_hierarchy_impl(g, nullptr);
+}
+
+ReferenceResult build_hierarchy_on_tree(const WeightedGraph& g,
+                                        const std::vector<bool>& in_tree) {
+  return build_hierarchy_impl(g, &in_tree);
+}
+
+namespace {
+
+ReferenceResult build_hierarchy_impl(const WeightedGraph& g,
+                                     const std::vector<bool>* allowed) {
+  if (!g.is_connected()) {
+    throw std::invalid_argument("SYNC_MST requires a connected graph");
+  }
+  const NodeId n = g.n();
+  Forest forest(n);
+  std::vector<Fragment> recorded;
+  std::uint64_t schedule_rounds = 0;
+
+  bool done = n == 1;
+  if (done) {
+    Fragment top;
+    top.root = 0;
+    top.level = 0;
+    top.nodes = {0};
+    recorded.push_back(top);
+  }
+
+  for (int phase = 0; !done; ++phase) {
+    if (phase > 2 * bits_for_values(n) + 4) {
+      throw std::logic_error("SYNC_MST reference failed to terminate");
+    }
+    const std::uint64_t cap = (2ULL << phase) - 1;  // 2^(phase+1) - 1
+
+    // 1. Identify roots and their fragments; decide activity by size.
+    std::vector<NodeId> roots;
+    for (NodeId v = 0; v < n; ++v) {
+      if (forest.parent[v] == kNoNode) roots.push_back(v);
+    }
+    struct Active {
+      NodeId root;
+      std::vector<NodeId> members;
+      Selection sel;
+      bool spans = false;
+    };
+    std::vector<Active> active;
+    std::vector<std::uint32_t> frag_of(n, kNoFragment);  // active frag idx
+    for (NodeId r : roots) {
+      auto mem = forest.members(r);
+      if (mem.size() > cap) continue;  // inactive this phase
+      const auto idx = static_cast<std::uint32_t>(active.size());
+      for (NodeId v : mem) frag_of[v] = idx;
+      active.push_back(Active{r, std::move(mem), {}, false});
+    }
+
+    // 2. Each active fragment finds its minimum outgoing edge.
+    for (Active& a : active) {
+      std::optional<EdgeKey> best;
+      for (NodeId v : a.members) {
+        for (const HalfEdge& he : g.neighbors(v)) {
+          if (allowed && !(*allowed)[he.edge_index]) continue;
+          if (forest.root_of(he.to) == a.root) continue;  // internal
+          const EdgeKey k = edge_key(g, v, he.to, he.w);
+          if (!best || k < *best) {
+            best = k;
+            a.sel = Selection{v, he.to, he.w};
+          }
+        }
+      }
+      a.spans = !best.has_value();
+    }
+
+    // 3. Record active fragments (the nodes of H_M) with their candidates.
+    for (const Active& a : active) {
+      Fragment f;
+      f.root = a.root;
+      f.level = phase;
+      f.nodes = a.members;
+      if (!a.spans) {
+        f.has_candidate = true;
+        f.cand_inside = a.sel.inside;
+        f.cand_outside = a.sel.outside;
+        f.cand_weight = a.sel.w;
+      }
+      recorded.push_back(std::move(f));
+      if (a.spans) done = true;
+    }
+    schedule_rounds = 22ULL << phase;  // end of phase i = 22*2^i
+    if (done) break;
+
+    // 4. Root transfer: every active fragment re-roots at the inner
+    //    endpoint of its selected edge.
+    for (const Active& a : active) forest.reroot_at(a.sel.inside);
+
+    // 5. Handshake & hook (simultaneous at round (11+11)*2^i - 1):
+    //    mutual selection of the same edge -> the smaller-ID endpoint
+    //    hooks onto the larger-ID one; otherwise the selecting endpoint
+    //    hooks onto the outside endpoint.
+    for (const Active& a : active) {
+      const NodeId w = a.sel.inside;
+      const NodeId x = a.sel.outside;
+      const std::uint32_t fx = frag_of[x];
+      bool mutual = false;
+      if (fx != kNoFragment) {
+        const Selection& other = active[fx].sel;
+        mutual = other.inside == x && other.outside == w;
+      }
+      if (mutual && g.id(x) < g.id(w)) {
+        continue;  // we win; x's side will hook onto w
+      }
+      forest.parent[w] = x;
+    }
+  }
+
+  // Assemble outputs.
+  NodeId final_root = kNoNode;
+  for (NodeId v = 0; v < n; ++v) {
+    if (forest.parent[v] == kNoNode) {
+      if (final_root != kNoNode) {
+        throw std::logic_error("SYNC_MST reference left two roots");
+      }
+      final_root = v;
+    }
+  }
+  ReferenceResult res;
+  res.tree = std::make_unique<RootedTree>(
+      RootedTree::from_parents(g, final_root, forest.parent));
+  // The recorded root of each fragment is its root at construction time;
+  // later root transfers may have re-oriented the fragment's edges. Recompute
+  // the canonical root r(F): the member closest to the final tree's root.
+  for (Fragment& f : recorded) {
+    f.build_root = f.root;
+    std::sort(f.nodes.begin(), f.nodes.end());
+    for (NodeId v : f.nodes) {
+      if (v == res.tree->root() || !f.contains(res.tree->parent(v))) {
+        f.root = v;
+        break;
+      }
+    }
+  }
+  res.hierarchy = std::make_unique<FragmentHierarchy>(*res.tree,
+                                                      std::move(recorded));
+  res.schedule_rounds = schedule_rounds;
+  return res;
+}
+
+}  // namespace
+
+}  // namespace ssmst

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <memory>
+
+#include "hierarchy/fragment.hpp"
+
+namespace ssmst {
+
+/// Result of the centralized SYNC_MST twin.
+struct ReferenceResult {
+  std::unique_ptr<RootedTree> tree;            ///< the MST, rooted
+  std::unique_ptr<FragmentHierarchy> hierarchy;  ///< H_M with chi_M
+  /// The round at which the paper's schedule would finish: phases start at
+  /// 11*2^i and phase i ends at 22*2^i - 1, so this is 22*2^ell (Section 4).
+  std::uint64_t schedule_rounds = 0;
+};
+
+/// Centralized execution of SYNC_MST's fragment dynamics (Section 4):
+/// phase i activates exactly the roots whose fragment has at most 2^(i+1)-1
+/// nodes; active fragments select their minimum outgoing edge, transfer
+/// their root to its inner endpoint and hook — with the handshake rule that
+/// on a mutual selection the endpoint with the larger identifier wins.
+///
+/// The recorded *active* fragments (Comment 4.1) form the hierarchy H_M
+/// whose candidate function is given by the selected edges. Lemma 4.1
+/// invariants (2^i <= |F| < 2^(i+1) for a level-i active fragment) are
+/// asserted by tests.
+///
+/// Requires a connected graph; edge comparisons use (w, IDmin, IDmax) so
+/// that duplicate weights are still totally ordered consistently with
+/// kruskal_mst_edges().
+ReferenceResult build_reference_hierarchy(const WeightedGraph& g);
+
+/// Runs the same fragment dynamics but restricts the candidate-edge search
+/// to a given spanning tree's edges. The resulting hierarchy is the one an
+/// (honest or cheating) marker would produce for that tree: well-formed by
+/// construction, but minimal only if the tree is an MST. Used by soundness
+/// tests and by the non-MST labeling path.
+ReferenceResult build_hierarchy_on_tree(const WeightedGraph& g,
+                                        const std::vector<bool>& in_tree);
+
+}  // namespace ssmst

@@ -1,0 +1,86 @@
+#include "selfstab/baselines.hpp"
+
+#include "labels/verify1.hpp"
+#include "util/bits.hpp"
+
+namespace ssmst {
+
+namespace {
+
+class NbrKkpReader final : public KkpReader {
+ public:
+  explicit NbrKkpReader(const NeighborReader<KkpState>& nbr) : nbr_(&nbr) {}
+  const KkpLabels& labels(std::uint32_t port) const override {
+    return nbr_->at_port(port).labels;
+  }
+  std::uint32_t parent_port(std::uint32_t port) const override {
+    return nbr_->at_port(port).parent_port;
+  }
+
+ private:
+  const NeighborReader<KkpState>* nbr_;
+};
+
+}  // namespace
+
+KkpVerifierProtocol::KkpVerifierProtocol(const WeightedGraph& g) : g_(&g) {
+  for (const Edge& e : g.edges()) max_weight_ = std::max(max_weight_, e.w);
+}
+
+void KkpVerifierProtocol::step(NodeId v, KkpState& self,
+                               const NeighborReader<KkpState>& nbr,
+                               std::uint64_t /*time*/) {
+  if (self.alarm) return;
+  NbrKkpReader reader(nbr);
+  self.alarm =
+      !verify_kkp_1round(*g_, v, self.labels, self.parent_port, reader)
+           .empty();
+}
+
+std::size_t KkpVerifierProtocol::state_bits(const KkpState& s,
+                                            NodeId v) const {
+  return bits_for_values(g_->degree(v) + 2) +
+         kkp_label_bits(s.labels, g_->n(), max_weight_, g_->degree(v)) + 1;
+}
+
+void KkpVerifierProtocol::corrupt(KkpState& s, NodeId v, Rng& rng) const {
+  const auto len = s.labels.base.string_length();
+  switch (rng.below(4)) {
+    case 0:
+      if (len > 0) {
+        s.labels.base.roots[rng.below(len)] =
+            static_cast<RootsEntry>(rng.below(3));
+      }
+      break;
+    case 1:
+      for (auto& p : s.labels.pieces) {
+        if (p) {
+          p->min_out_w = rng.below(1 << 20);
+          break;
+        }
+      }
+      break;
+    case 2:
+      s.parent_port =
+          static_cast<std::uint32_t>(rng.below(g_->degree(v) + 1));
+      if (s.parent_port == g_->degree(v)) s.parent_port = kNoPort;
+      break;
+    case 3:
+      s.labels.base.subtree_count =
+          static_cast<std::uint32_t>(rng.below(1 << 16));
+      break;
+  }
+}
+
+std::vector<KkpState> KkpVerifierProtocol::initial_states(
+    const MarkerOutput& marker) const {
+  std::vector<KkpState> init(g_->n());
+  const auto ports = marker.parent_ports();
+  for (NodeId v = 0; v < g_->n(); ++v) {
+    init[v].parent_port = ports[v];
+    init[v].labels = marker.kkp_labels[v];
+  }
+  return init;
+}
+
+}  // namespace ssmst

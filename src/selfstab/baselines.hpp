@@ -1,0 +1,38 @@
+#pragma once
+
+#include "labels/labels.hpp"
+#include "labels/marker.hpp"
+#include "sim/protocol.hpp"
+#include "sim/simulation.hpp"
+
+namespace ssmst {
+
+/// Register of the KKP-label verifier baseline ([17]-style): the component
+/// plus the full O(log^2 n)-bit label, checked in one round.
+struct KkpState {
+  std::uint32_t parent_port = kNoPort;
+  KkpLabels labels;
+  bool alarm = false;
+};
+
+/// The 1-round verifier of [54,55] run as a protocol: detection time 1,
+/// memory Theta(log^2 n). Used as the Table-1 comparison row and inside
+/// the transformer as an alternative checker.
+class KkpVerifierProtocol final : public Protocol<KkpState> {
+ public:
+  explicit KkpVerifierProtocol(const WeightedGraph& g);
+
+  void step(NodeId v, KkpState& self, const NeighborReader<KkpState>& nbr,
+            std::uint64_t time) override;
+  std::size_t state_bits(const KkpState& s, NodeId v) const override;
+  bool alarmed(const KkpState& s) const override { return s.alarm; }
+  void corrupt(KkpState& s, NodeId v, Rng& rng) const override;
+
+  std::vector<KkpState> initial_states(const MarkerOutput& marker) const;
+
+ private:
+  const WeightedGraph* g_;
+  Weight max_weight_ = 0;
+};
+
+}  // namespace ssmst

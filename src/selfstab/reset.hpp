@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/protocol.hpp"
+#include "sim/simulation.hpp"
+
+namespace ssmst {
+
+/// State of the reset wave (the [13]-style reset the Resynchronizer relies
+/// on, Section 10): alarming nodes seed a flood that erases downstream
+/// protocol state; nodes acknowledge once their whole neighbourhood has
+/// joined, so completion is detectable.
+struct ResetState {
+  bool in_reset = false;
+  bool seeded = false;   ///< this node raised the alarm that caused it
+  bool settled = false;  ///< this node and all its neighbours are in reset
+};
+
+class ResetProtocol final : public Protocol<ResetState> {
+ public:
+  explicit ResetProtocol(const WeightedGraph& g) : g_(&g) {}
+
+  void step(NodeId v, ResetState& self, const NeighborReader<ResetState>& nbr,
+            std::uint64_t) override {
+    (void)v;
+    if (!self.in_reset) {
+      for (std::uint32_t p = 0; p < nbr.degree(); ++p) {
+        if (nbr.at_port(p).in_reset) {
+          self.in_reset = true;
+          break;
+        }
+      }
+    }
+    if (self.in_reset && !self.settled) {
+      bool all = true;
+      for (std::uint32_t p = 0; p < nbr.degree(); ++p) {
+        if (!nbr.at_port(p).in_reset) all = false;
+      }
+      self.settled = all;
+    }
+  }
+
+  std::size_t state_bits(const ResetState&, NodeId) const override {
+    return 3;
+  }
+
+ private:
+  const WeightedGraph* g_;
+};
+
+/// Floods a reset from the given seed nodes and returns the number of time
+/// units until every node settled. Synchronous: lock-step rounds;
+/// asynchronous: weakly fair daemon.
+std::uint64_t run_reset(const WeightedGraph& g,
+                        const std::vector<NodeId>& seeds, bool sync_mode,
+                        Rng& daemon);
+
+}  // namespace ssmst

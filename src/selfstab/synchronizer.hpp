@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/protocol.hpp"
+#include "sim/simulation.hpp"
+
+namespace ssmst {
+
+/// Two-slot alpha-synchronizer (the self-stabilizing synchronizer slot of
+/// Section 10, cf. [10,11]): wraps a protocol written for lock-step rounds
+/// and executes it under an asynchronous daemon with constant overhead.
+///
+/// Each register carries the inner state after the current pulse (`cur`)
+/// and after the previous one (`prev`). A node at pulse k executes inner
+/// round k as soon as every neighbour reached pulse k, reading each
+/// neighbour's round-k state from `cur` (neighbour at pulse k) or `prev`
+/// (neighbour already at k+1). Neighbouring pulses never differ by more
+/// than one, so the two slots always suffice.
+template <typename Inner>
+struct SynchronizedState {
+  std::uint64_t pulse = 0;
+  Inner cur;
+  Inner prev;
+};
+
+template <typename Inner>
+class Synchronizer final : public Protocol<SynchronizedState<Inner>> {
+ public:
+  using State = SynchronizedState<Inner>;
+
+  Synchronizer(const WeightedGraph& g, Protocol<Inner>& inner)
+      : g_(&g), inner_(&inner), locals_(g.n()) {}
+
+  void step(NodeId v, State& self, const NeighborReader<State>& nbr,
+            std::uint64_t) override {
+    // Execute the next inner round once all neighbours caught up.
+    for (std::uint32_t p = 0; p < nbr.degree(); ++p) {
+      if (nbr.at_port(p).pulse < self.pulse) return;
+    }
+    // Snapshot the neighbours' round-k states.
+    snapshot_.clear();
+    snapshot_.reserve(nbr.degree());
+    for (std::uint32_t p = 0; p < nbr.degree(); ++p) {
+      const State& u = nbr.at_port(p);
+      snapshot_.push_back(u.pulse == self.pulse ? u.cur : u.prev);
+    }
+    // Run the inner step against a local register view. Only the entries
+    // for v and its neighbours are written; the reader touches no others.
+    locals_[v] = self.cur;
+    for (std::uint32_t p = 0; p < nbr.degree(); ++p) {
+      locals_[g_->half_edge(v, p).to] = snapshot_[p];
+    }
+    NeighborReader<Inner> inner_nbr(*g_, locals_, v);
+    Inner next = self.cur;
+    inner_->step(v, next, inner_nbr, self.pulse);
+    self.prev = self.cur;
+    self.cur = next;
+    ++self.pulse;
+  }
+
+  std::size_t state_bits(const State& s, NodeId v) const override {
+    // Pulse counters are bounded by the wrapped protocol's running time.
+    return 2 * inner_->state_bits(s.cur, v) + 32;
+  }
+
+ private:
+  const WeightedGraph* g_;
+  Protocol<Inner>* inner_;
+  // Scratch buffers (per-protocol, not per-node state).
+  std::vector<Inner> snapshot_;
+  std::vector<Inner> locals_;
+};
+
+}  // namespace ssmst

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace ssmst {
+
+/// The self-stabilizing data-link protocol of Section 2.2 (the
+/// three-valued "toggle" of [3], there called "the strict discipline"):
+/// emulates exactly-once, in-order message delivery between two
+/// neighbours over shared registers, which is how the paper ports the
+/// Awerbuch-Varghese transformer's message-passing modules to this model.
+///
+/// The sender publishes (toggle, payload); it may load the next message
+/// only after the receiver's acknowledged toggle equals its own. The
+/// receiver delivers a payload exactly once per toggle *change*. Three
+/// toggle values (not two) ensure that, from an arbitrary initial
+/// configuration, at most one spurious delivery can happen before the
+/// endpoints re-synchronize — after which delivery is exactly-once.
+template <typename Payload>
+struct DataLinkSender {
+  std::uint8_t toggle = 0;  ///< in {0,1,2}
+  Payload payload{};
+  bool loaded = false;  ///< a message is in flight (not yet acknowledged)
+
+  /// Acknowledged toggle as published by the receiver.
+  struct AckView {
+    std::uint8_t ack = 0;
+  };
+
+  /// True if a new message can be loaded now.
+  bool ready(const AckView& receiver) const {
+    return !loaded || receiver.ack == toggle;
+  }
+
+  /// Attempts to hand the link a new message; returns false if the
+  /// previous one is still unacknowledged.
+  bool send(const AckView& receiver, const Payload& p) {
+    if (!ready(receiver)) return false;
+    toggle = static_cast<std::uint8_t>((toggle + 1) % 3);
+    payload = p;
+    loaded = true;
+    return true;
+  }
+};
+
+template <typename Payload>
+struct DataLinkReceiver {
+  std::uint8_t ack = 0;  ///< last toggle value consumed
+
+  /// Reads the sender's register; delivers the payload exactly once per
+  /// toggle change, acknowledging it in the same step.
+  std::optional<Payload> poll(const DataLinkSender<Payload>& sender) {
+    if (sender.toggle == ack) return std::nullopt;
+    ack = sender.toggle;
+    return sender.payload;
+  }
+
+  typename DataLinkSender<Payload>::AckView view() const {
+    return {ack};
+  }
+};
+
+}  // namespace ssmst

@@ -1,0 +1,32 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace ssmst {
+
+std::vector<NodeId> pick_fault_nodes(NodeId n, std::size_t f, Rng& rng) {
+  std::vector<NodeId> all(n);
+  std::iota(all.begin(), all.end(), NodeId{0});
+  rng.shuffle(all);
+  all.resize(std::min<std::size_t>(f, n));
+  return all;
+}
+
+std::uint32_t detection_distance(const WeightedGraph& g,
+                                 const std::vector<NodeId>& faulty,
+                                 const std::vector<NodeId>& alarming) {
+  if (faulty.empty()) return 0;
+  if (alarming.empty()) return std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t worst = 0;
+  for (NodeId f : faulty) {
+    const auto dist = g.bfs_distances(f);
+    std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+    for (NodeId a : alarming) best = std::min(best, dist[a]);
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+}  // namespace ssmst

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace ssmst {
+
+/// Picks `f` distinct fault locations uniformly at random.
+std::vector<NodeId> pick_fault_nodes(NodeId n, std::size_t f, Rng& rng);
+
+/// Applies the protocol's adversarial corruption to `f` random nodes of a
+/// state vector. Returns the faulty node set.
+template <typename State>
+std::vector<NodeId> inject_faults(const Protocol<State>& proto,
+                                  std::vector<State>& regs, std::size_t f,
+                                  Rng& rng) {
+  auto victims = pick_fault_nodes(static_cast<NodeId>(regs.size()), f, rng);
+  for (NodeId v : victims) proto.corrupt(regs[v], v, rng);
+  return victims;
+}
+
+/// Detection distance (Section 2.4): for each faulty node, the hop distance
+/// to the nearest node that raised an alarm; the scheme's detection distance
+/// is the maximum over faulty nodes. Returns max distance, or
+/// UINT32_MAX if some fault has no alarming node at all.
+std::uint32_t detection_distance(const WeightedGraph& g,
+                                 const std::vector<NodeId>& faulty,
+                                 const std::vector<NodeId>& alarming);
+
+}  // namespace ssmst

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ssmst {
+
+/// Read-only view of neighbours' public registers, as seen by one node
+/// during one activation. The paper's "ideal time" model (Section 2.1):
+/// a node reads *all* of its neighbours within a single time unit.
+template <typename State>
+class NeighborReader {
+ public:
+  NeighborReader(const WeightedGraph& g, const std::vector<State>& regs,
+                 NodeId self)
+      : g_(&g), regs_(&regs), self_(self) {}
+
+  std::uint32_t degree() const { return g_->degree(self_); }
+
+  /// Register of the neighbour behind local port `port`.
+  const State& at_port(std::uint32_t port) const {
+    return (*regs_)[g_->half_edge(self_, port).to];
+  }
+
+  /// Static link information for port `port`.
+  const HalfEdge& link(std::uint32_t port) const {
+    return g_->half_edge(self_, port);
+  }
+
+ private:
+  const WeightedGraph* g_;
+  const std::vector<State>* regs_;
+  NodeId self_;
+};
+
+/// A distributed protocol in the register model: per-node state (the public
+/// register) plus a step function executed on each activation.
+///
+/// Protocols must be written so that `step` only reads the provided
+/// neighbour view and its own state — that is exactly the locality the
+/// model grants.
+template <typename State>
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// One activation of node v. `time` is the current global time unit;
+  /// self-stabilizing protocols must not rely on it for correctness (it is
+  /// exposed for the non-self-stabilizing construction algorithms, whose
+  /// model permits synchronized wake-up, and for tracing).
+  virtual void step(NodeId v, State& self, const NeighborReader<State>& nbr,
+                    std::uint64_t time) = 0;
+
+  /// Semantic size of the state in bits (see DESIGN.md section 1).
+  virtual std::size_t state_bits(const State& s, NodeId v) const = 0;
+
+  /// Whether the node is currently raising an alarm ("output no").
+  virtual bool alarmed(const State& /*s*/) const { return false; }
+
+  /// Adversarial corruption: replace the state by an arbitrary type-valid
+  /// value. Default: value-initialize (a "reset to garbage-zero" fault);
+  /// protocols override with genuinely randomized corruption.
+  virtual void corrupt(State& s, NodeId /*v*/, Rng& /*rng*/) const {
+    s = State{};
+  }
+};
+
+}  // namespace ssmst

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace ssmst {
+
+/// Activation order within one asynchronous time unit.
+enum class DaemonOrder {
+  kRandom,      ///< fresh random permutation per unit (weakly fair daemon)
+  kRoundRobin,  ///< fixed index order
+  kReverse,     ///< fixed reverse order (an adversarial-flavoured schedule)
+};
+
+/// Executes a Protocol over a WeightedGraph under either scheduler and
+/// tracks alarms, elapsed time and the running maximum register size.
+///
+/// Synchronous semantics: in `sync_round` every node computes its next
+/// state from the *previous* round's registers (lock-step).
+/// Asynchronous semantics: in `async_unit` every node is activated exactly
+/// once, in daemon order, reading current (mixed) registers — the standard
+/// weakly fair central daemon; one unit is one "ideal time" unit.
+template <typename State>
+class Simulation {
+ public:
+  Simulation(const WeightedGraph& g, Protocol<State>& proto,
+             std::vector<State> init)
+      : g_(&g),
+        proto_(&proto),
+        regs_(std::move(init)),
+        alarm_time_(g.n(), std::nullopt) {
+    scratch_ = regs_;
+    record_all();
+  }
+
+  const WeightedGraph& graph() const { return *g_; }
+  std::uint64_t time() const { return time_; }
+  std::vector<State>& states() { return regs_; }
+  const std::vector<State>& states() const { return regs_; }
+  State& state(NodeId v) { return regs_[v]; }
+
+  /// One synchronous round.
+  void sync_round() {
+    scratch_ = regs_;
+    for (NodeId v = 0; v < g_->n(); ++v) {
+      NeighborReader<State> nbr(*g_, scratch_, v);
+      proto_->step(v, regs_[v], nbr, time_);
+    }
+    ++time_;
+    record_all();
+  }
+
+  /// One asynchronous time unit (every node activated once, in-place).
+  void async_unit(Rng& rng, DaemonOrder order = DaemonOrder::kRandom) {
+    order_.resize(g_->n());
+    std::iota(order_.begin(), order_.end(), NodeId{0});
+    switch (order) {
+      case DaemonOrder::kRandom:
+        rng.shuffle(order_);
+        break;
+      case DaemonOrder::kRoundRobin:
+        break;
+      case DaemonOrder::kReverse:
+        std::reverse(order_.begin(), order_.end());
+        break;
+    }
+    for (NodeId v : order_) {
+      NeighborReader<State> nbr(*g_, regs_, v);
+      proto_->step(v, regs_[v], nbr, time_);
+      record_one(v);
+    }
+    ++time_;
+  }
+
+  /// Runs synchronous rounds until an alarm fires or `max_rounds` elapse.
+  /// Returns the time of the first alarm, if any.
+  std::optional<std::uint64_t> run_sync_until_alarm(std::uint64_t max_rounds) {
+    for (std::uint64_t i = 0; i < max_rounds; ++i) {
+      if (first_alarm_time()) return first_alarm_time();
+      sync_round();
+    }
+    return first_alarm_time();
+  }
+
+  std::optional<std::uint64_t> run_async_until_alarm(
+      std::uint64_t max_units, Rng& rng,
+      DaemonOrder order = DaemonOrder::kRandom) {
+    for (std::uint64_t i = 0; i < max_units; ++i) {
+      if (first_alarm_time()) return first_alarm_time();
+      async_unit(rng, order);
+    }
+    return first_alarm_time();
+  }
+
+  /// Time of the earliest alarm seen so far, if any.
+  std::optional<std::uint64_t> first_alarm_time() const {
+    std::optional<std::uint64_t> best;
+    for (const auto& t : alarm_time_) {
+      if (t && (!best || *t < *best)) best = t;
+    }
+    return best;
+  }
+
+  /// Per-node time of first alarm (nullopt = never alarmed so far).
+  const std::vector<std::optional<std::uint64_t>>& alarm_times() const {
+    return alarm_time_;
+  }
+
+  std::vector<NodeId> alarmed_nodes() const {
+    std::vector<NodeId> out;
+    for (NodeId v = 0; v < g_->n(); ++v) {
+      if (alarm_time_[v]) out.push_back(v);
+    }
+    return out;
+  }
+
+  /// Clears alarm history (e.g. after re-marking) without touching states.
+  void reset_alarm_history() {
+    std::fill(alarm_time_.begin(), alarm_time_.end(), std::nullopt);
+  }
+
+  /// Running maximum of any node's register size, in bits.
+  std::size_t max_state_bits() const { return max_bits_; }
+
+ private:
+  void record_one(NodeId v) {
+    max_bits_ = std::max(max_bits_, proto_->state_bits(regs_[v], v));
+    if (!alarm_time_[v] && proto_->alarmed(regs_[v])) {
+      alarm_time_[v] = time_;
+    }
+  }
+  void record_all() {
+    for (NodeId v = 0; v < g_->n(); ++v) record_one(v);
+  }
+
+  const WeightedGraph* g_;
+  Protocol<State>* proto_;
+  std::vector<State> regs_;
+  std::vector<State> scratch_;
+  std::vector<NodeId> order_;
+  std::vector<std::optional<std::uint64_t>> alarm_time_;
+  std::uint64_t time_ = 0;
+  std::size_t max_bits_ = 0;
+};
+
+}  // namespace ssmst

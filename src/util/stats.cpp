@@ -1,0 +1,60 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssmst {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(var / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  LinearFit f;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return f;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return f;
+  f.slope = (dn * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / dn;
+  return f;
+}
+
+double loglog_slope(const std::vector<double>& xs,
+                    const std::vector<double>& ys) {
+  std::vector<double> lx, ly;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  lx.reserve(n);
+  ly.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (xs[i] > 0 && ys[i] > 0) {
+      lx.push_back(std::log(xs[i]));
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  return fit_linear(lx, ly).slope;
+}
+
+}  // namespace ssmst

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ssmst {
+
+/// Summary statistics over a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+/// Least-squares fit y = a + b*x. Returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Fits log(y) = a + b*log(x) and returns the exponent b.
+///
+/// Used by the benches to check complexity *shape*: measured rounds vs n
+/// should have log-log slope ~1 for O(n) algorithms, ~0 (up to log factors)
+/// for polylogarithmic detection times, and so on.
+double loglog_slope(const std::vector<double>& xs,
+                    const std::vector<double>& ys);
+
+}  // namespace ssmst

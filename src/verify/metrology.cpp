@@ -1,0 +1,99 @@
+#include "verify/metrology.hpp"
+
+namespace ssmst {
+
+VerifierHarness::VerifierHarness(const WeightedGraph& g, VerifierConfig cfg,
+                                 std::uint64_t daemon_seed)
+    : cfg_(cfg), marker_(make_labels(g, cfg.pack)), daemon_(daemon_seed) {
+  proto_ = std::make_unique<VerifierProtocol>(g, cfg_);
+  sim_ = std::make_unique<VerifierSim>(g, *proto_,
+                                       proto_->initial_states(marker_));
+}
+
+VerifierHarness::VerifierHarness(const WeightedGraph& g, VerifierConfig cfg,
+                                 std::uint64_t daemon_seed,
+                                 const std::vector<bool>& in_tree)
+    : cfg_(cfg), marker_(make_labels_for_tree(g, in_tree, cfg.pack)),
+      daemon_(daemon_seed) {
+  proto_ = std::make_unique<VerifierProtocol>(g, cfg_);
+  sim_ = std::make_unique<VerifierSim>(g, *proto_,
+                                       proto_->initial_states(marker_));
+}
+
+std::optional<std::uint64_t> VerifierHarness::run(std::uint64_t units) {
+  for (std::uint64_t i = 0; i < units; ++i) {
+    if (cfg_.sync_mode) {
+      sim_->sync_round();
+    } else {
+      sim_->async_unit(daemon_);
+    }
+    if (auto t = sim_->first_alarm_time()) return t;
+  }
+  return sim_->first_alarm_time();
+}
+
+std::vector<NodeId> VerifierHarness::inject_random(std::size_t f, Rng& rng) {
+  return inject_faults<VerifierState>(*proto_, sim_->states(), f, rng);
+}
+
+std::optional<NodeId> VerifierHarness::tamper_loadbearing_piece(
+    std::uint64_t salt) {
+  const WeightedGraph& g = sim_->graph();
+  const FragmentHierarchy& h = *marker_.hierarchy;
+  const Partitions& parts = marker_.partitions;
+
+  auto fragment_of_piece = [&](const Piece& p) -> std::uint32_t {
+    const NodeId root = g.node_of_id(p.root_id);
+    if (root == kNoNode) return kNoFragment;
+    return h.fragment_at(root, static_cast<int>(p.level));
+  };
+  auto intersects = [&](std::uint32_t f, const std::vector<NodeId>& nodes) {
+    if (f == kNoFragment) return false;
+    const Fragment& frag = h.fragment(f);
+    for (NodeId w : nodes) {
+      if (frag.contains(w)) return true;
+    }
+    return false;
+  };
+
+  for (NodeId i = 0; i < g.n(); ++i) {
+    const NodeId x = static_cast<NodeId>((i + salt) % g.n());
+    auto& labels = sim_->state(x).labels;
+    for (int which = 0; which < 2; ++which) {
+      auto& perm = which == 0 ? labels.top_perm : labels.bot_perm;
+      const auto& part_nodes =
+          which == 0 ? parts.top_parts[parts.top_part_of[x]].nodes
+                     : parts.bot_parts[parts.bot_part_of[x]].nodes;
+      for (Piece& p : perm) {
+        if (p.min_out_w == Piece::kNoOutgoing) continue;  // the top fragment
+        if (!intersects(fragment_of_piece(p), part_nodes)) continue;
+        p.min_out_w += 1 + salt % 5;
+        return x;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+DetectionResult VerifierHarness::measure_detection(
+    const std::vector<NodeId>& faulty, std::uint64_t max_units,
+    std::uint64_t slack) {
+  const std::uint64_t start = sim_->time();
+  DetectionResult res;
+  const auto first = run(max_units);
+  if (!first) return res;
+  res.detected = true;
+  res.detection_time = *first - start;
+  for (std::uint64_t i = 0; i < slack; ++i) {
+    if (cfg_.sync_mode) {
+      sim_->sync_round();
+    } else {
+      sim_->async_unit(daemon_);
+    }
+  }
+  res.alarming = sim_->alarmed_nodes();
+  res.distance = detection_distance(sim_->graph(), faulty, res.alarming);
+  return res;
+}
+
+}  // namespace ssmst

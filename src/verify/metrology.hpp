@@ -1,0 +1,71 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "sim/faults.hpp"
+#include "verify/verifier.hpp"
+
+namespace ssmst {
+
+/// Outcome of a detection experiment.
+struct DetectionResult {
+  bool detected = false;
+  std::uint64_t detection_time = 0;  ///< units from injection to first alarm
+  std::vector<NodeId> alarming;      ///< all nodes alarmed by that time + slack
+  std::uint32_t distance = 0;        ///< detection distance (Section 2.4)
+};
+
+/// Drives one verifier instance end to end: mark, warm up, corrupt,
+/// measure. The scheduler follows the config: lock-step rounds in sync
+/// mode, a weakly fair random daemon otherwise.
+class VerifierHarness {
+ public:
+  /// Marks the graph's MST (correct instance).
+  VerifierHarness(const WeightedGraph& g, VerifierConfig cfg,
+                  std::uint64_t daemon_seed);
+
+  /// Marks an arbitrary given spanning tree (possibly non-MST); pieces
+  /// claim the tree's own candidate weights — the "best lie" an adversary
+  /// marker can tell.
+  VerifierHarness(const WeightedGraph& g, VerifierConfig cfg,
+                  std::uint64_t daemon_seed,
+                  const std::vector<bool>& in_tree);
+
+  const MarkerOutput& marker() const { return marker_; }
+  VerifierProtocol& protocol() { return *proto_; }
+  VerifierSim& sim() { return *sim_; }
+
+  /// Runs `units` time units; returns the first alarm time, if any.
+  std::optional<std::uint64_t> run(std::uint64_t units);
+
+  /// Injects adversarial corruption at `f` random nodes (protocol-level
+  /// corruption covering labels, components and runtime state).
+  std::vector<NodeId> inject_random(std::size_t f, Rng& rng);
+
+  /// Tampers one *load-bearing* permanent piece: a stored copy whose
+  /// fragment intersects the part that circulates it, so some node's
+  /// C1/C2/equality check must eventually fire. (Copies of fragments that
+  /// do not intersect their part are ballast — corrupting them changes no
+  /// verified statement and is correctly ignored.) Returns the node whose
+  /// register was corrupted, or nullopt if none qualifies.
+  std::optional<NodeId> tamper_loadbearing_piece(std::uint64_t salt);
+
+  /// Runs until the first alarm (or max_units), then keeps running for
+  /// `slack` more units to collect co-alarming nodes, and reports the
+  /// detection distance w.r.t. `faulty`.
+  DetectionResult measure_detection(const std::vector<NodeId>& faulty,
+                                    std::uint64_t max_units,
+                                    std::uint64_t slack = 0);
+
+ private:
+  void init(const MarkerOutput& marker);
+
+  VerifierConfig cfg_;
+  MarkerOutput marker_;
+  std::unique_ptr<VerifierProtocol> proto_;
+  std::unique_ptr<VerifierSim> sim_;
+  Rng daemon_;
+};
+
+}  // namespace ssmst

@@ -1,0 +1,188 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "labels/labels.hpp"
+#include "labels/marker.hpp"
+#include "sim/protocol.hpp"
+#include "sim/simulation.hpp"
+
+namespace ssmst {
+
+/// Reasons a node raises an alarm; kept as a small code in the register
+/// (the full text is traced out-of-band for tests and debugging).
+enum class AlarmReason : std::uint8_t {
+  kNone = 0,
+  kLabels,        ///< a 1-round label check failed (SP/NumK/RS/EPS/partition)
+  kStreamOrder,   ///< train pieces out of cyclic order / too many per cycle
+  kShowFill,      ///< piece presence contradicts the strings at Show fill
+  kPairCheck,     ///< an event comparison failed (C1/C2/equality/root id)
+  kTrainStall,    ///< a train stopped delivering pieces (timeout)
+  kAskStall,      ///< the Ask cycle failed to complete in time (timeout)
+};
+
+/// Runtime registers of one train (Section 7.1): the DFS convergecast
+/// generator with its outgoing car, the pipelined broadcast car, and the
+/// stream watcher used for cyclic-order checks and Show filling.
+struct TrainRt {
+  // Convergecast generator.
+  enum class Stage : std::uint8_t { kEmitOwn = 0, kDrainChild = 1, kDone = 2 };
+  Stage stage = Stage::kDone;
+  std::uint8_t emit_idx = 0;        ///< next own permanent piece
+  std::uint32_t child_port = kNoPort;  ///< child currently drained
+  std::uint32_t child_taken = 0;    ///< seq of last piece consumed from it
+  std::uint32_t cycle = 0;          ///< cycle id (mod 64); wake handshake
+  bool finished = false;            ///< published: subtree stream exhausted
+
+  // Outgoing car (consumed by the part parent; unused at the part root).
+  Piece out_piece;
+  bool out_valid = false;
+  std::uint32_t out_seq = 0;
+
+  // Broadcast car (copied by part children).
+  Piece bc_piece;
+  bool bc_valid = false;
+  bool bc_flag = false;  ///< membership flag (meaningful for bottom trains)
+  std::uint32_t bc_seq = 0;
+
+  // Stream watcher (local bookkeeping over the own broadcast stream).
+  std::uint32_t last_seen_seq = 0;
+  bool prev_valid = false;
+  std::uint32_t prev_level = 0;
+  std::uint64_t prev_root_id = 0;
+  std::uint32_t pieces_since_wrap = 0;
+  std::uint32_t stall_timer = 0;  ///< activations since bc_seq last changed
+};
+
+/// The per-level Show window (Section 7.2): presents, in cyclic level
+/// order, the piece I(F_j(v)) or an explicit "no fragment at this level"
+/// entry, so neighbours can compare without extra memory.
+struct ShowRt {
+  std::uint32_t level = 0;
+  bool filled = false;
+  bool present = false;  ///< false = the node has no fragment at `level`
+  Piece piece;
+  bool watching = false;  ///< absence-evidence window is armed
+  std::uint32_t dwell = 0;  ///< activations since filled
+  std::uint32_t hold = 0;   ///< activations spent holding for wanters
+};
+
+/// The Ask comparison driver (Section 7.2): holds the node's own piece for
+/// its current level and compares it against every neighbour.
+struct AskRt {
+  enum class Stage : std::uint8_t { kWaitPiece = 0, kCompare = 1 };
+  Stage stage = Stage::kWaitPiece;
+  std::uint32_t level = 0;
+  bool present = false;
+  Piece piece;
+  std::uint32_t window = 0;     ///< sync mode: rounds left in the window
+  std::uint32_t scan_port = 0;  ///< async mode: neighbour being served
+  std::uint32_t cycle_timer = 0;  ///< activations since last full cycle
+};
+
+/// Client request register (asynchronous comparison, Section 7.2.2).
+struct WantRt {
+  bool active = false;
+  std::uint32_t port = 0;   ///< the node's own port toward the server
+  std::uint32_t level = 0;  ///< requested level
+};
+
+/// The complete public register of a verifier node: the component, the
+/// labels, and the runtime state. Everything here may be corrupted by the
+/// adversary; the verifier must detect any resulting non-MST situation.
+struct VerifierState {
+  std::uint32_t parent_port = kNoPort;  ///< component c(v)
+  NodeLabels labels;
+  TrainRt train[2];  ///< [0] = top partition train, [1] = bottom
+  ShowRt show;
+  AskRt ask;
+  WantRt want;
+  AlarmReason alarm = AlarmReason::kNone;
+};
+
+/// Tuning knobs; defaults are calibrated by the test-suite so that correct
+/// instances never alarm while bounds keep the paper's shape.
+struct VerifierConfig {
+  bool sync_mode = true;  ///< window-scan (sync) vs Want-handshake (async)
+  /// Sync Ask window: f*(theta+L+2) rounds. Must cover a full neighbour
+  /// Show cycle (~ train cycle ~ 2k + 2*diam <= ~20*theta), otherwise a
+  /// level's comparison events can be missed; 32 gives a 2-3x margin.
+  std::uint32_t window_factor = 32;
+  std::uint32_t hold_cap = 8;        ///< max Show hold for wanters
+  std::uint32_t train_stall_factor = 48;  ///< train timeout: f*(theta+L+2)
+  std::uint32_t ask_budget_factor = 16;   ///< ask timeout factor
+  /// Pieces stored per node when the harness marks the instance (>= 2);
+  /// larger packs shorten the trains (the memory-for-time extension).
+  std::uint32_t pack = 2;
+};
+
+/// The composed self-stabilizing MST verifier (Sections 5-8).
+class VerifierProtocol final : public Protocol<VerifierState> {
+ public:
+  VerifierProtocol(const WeightedGraph& g, VerifierConfig cfg);
+
+  void step(NodeId v, VerifierState& self,
+            const NeighborReader<VerifierState>& nbr,
+            std::uint64_t time) override;
+  std::size_t state_bits(const VerifierState& s, NodeId v) const override;
+  bool alarmed(const VerifierState& s) const override {
+    return s.alarm != AlarmReason::kNone;
+  }
+  void corrupt(VerifierState& s, NodeId v, Rng& rng) const override;
+
+  /// The legal initial configuration produced by the marker: labels
+  /// installed, trains at cycle start, timers zero.
+  std::vector<VerifierState> initial_states(const MarkerOutput& marker) const;
+
+  const VerifierConfig& config() const { return cfg_; }
+
+  /// Out-of-band trace of (node, reason, description) for the first alarm
+  /// at each node; consumed by tests.
+  struct AlarmEvent {
+    NodeId node;
+    AlarmReason reason;
+    std::string detail;
+  };
+  const std::vector<AlarmEvent>& alarm_trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+ private:
+  struct Ctx;  // per-step derived values
+
+  void watch_streams(NodeId v, VerifierState& self,
+                     const NeighborReader<VerifierState>& nbr);
+  void run_trains(NodeId v, VerifierState& self,
+                  const NeighborReader<VerifierState>& nbr);
+  void run_show(NodeId v, VerifierState& self,
+                const NeighborReader<VerifierState>& nbr);
+  void run_ask(NodeId v, VerifierState& self,
+               const NeighborReader<VerifierState>& nbr);
+
+  void raise(NodeId v, VerifierState& self, AlarmReason reason,
+             std::string detail);
+
+  bool piece_is_mine(const VerifierState& self, int which,
+                     const Piece& piece, bool bc_flag) const;
+
+  /// Part parent port of this node for train `which` (kNoPort = part root).
+  std::uint32_t part_parent_port(const VerifierState& self) const;
+  std::uint64_t part_root_id(const VerifierState& self, int which) const {
+    return which == 0 ? self.labels.top_part_root_id
+                      : self.labels.bot_part_root_id;
+  }
+
+  const WeightedGraph* g_;
+  VerifierConfig cfg_;
+  mutable std::vector<AlarmEvent> trace_;
+  Weight max_weight_ = 0;
+
+  std::uint32_t scale(const VerifierState& s, std::uint32_t factor) const;
+};
+
+/// Convenience: simulation type for the verifier.
+using VerifierSim = Simulation<VerifierState>;
+
+}  // namespace ssmst

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/mst.hpp"
+
+namespace ssmst {
+namespace {
+
+TEST(UnionFind, Basics) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.component_count(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));
+  EXPECT_EQ(uf.component_count(), 3u);
+  EXPECT_EQ(uf.find(0), uf.find(2));
+  EXPECT_NE(uf.find(0), uf.find(4));
+}
+
+TEST(Kruskal, SmallKnownInstance) {
+  auto g = WeightedGraph::from_edges(
+      4, {{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {0, 3, 10}, {0, 2, 9}});
+  auto tree = kruskal_mst_edges(g);
+  ASSERT_EQ(tree.size(), 3u);
+  Weight total = 0;
+  for (auto e : tree) total += g.edge(e).w;
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(Kruskal, TreeInputReturnsAllEdges) {
+  Rng rng(1);
+  auto g = gen::path(10, rng);
+  EXPECT_EQ(kruskal_mst_edges(g).size(), 9u);
+}
+
+TEST(Kruskal, ThrowsOnDisconnected) {
+  auto g = WeightedGraph::from_edges(4, {{0, 1, 1}, {2, 3, 2}});
+  EXPECT_THROW(kruskal_mst_edges(g), std::invalid_argument);
+}
+
+TEST(IsMst, AcceptsKruskalRejectsWorse) {
+  for (const auto& [name, g] : gen::standard_suite(77)) {
+    std::vector<bool> in_tree(g.m(), false);
+    for (auto e : kruskal_mst_edges(g)) in_tree[e] = true;
+    EXPECT_TRUE(is_mst(g, in_tree)) << name;
+
+    std::vector<bool> bad;
+    if (make_non_mst_spanning_tree(g, bad)) {
+      EXPECT_TRUE(is_spanning_tree(g, bad)) << name;
+      EXPECT_FALSE(is_mst(g, bad)) << name;
+    } else {
+      // Only possible when the graph is itself a tree.
+      EXPECT_EQ(g.m(), g.n() - 1) << name;
+    }
+  }
+}
+
+TEST(IsMst, RejectsNonSpanning) {
+  auto g = WeightedGraph::from_edges(3, {{0, 1, 1}, {1, 2, 2}, {0, 2, 3}});
+  std::vector<bool> cycle = {true, true, true};
+  EXPECT_FALSE(is_spanning_tree(g, cycle));
+  EXPECT_FALSE(is_mst(g, cycle));
+  std::vector<bool> partial = {true, false, false};
+  EXPECT_FALSE(is_spanning_tree(g, partial));
+}
+
+TEST(KruskalTree, MatchesEdgeSet) {
+  Rng rng(3);
+  auto g = gen::random_connected(60, 60, rng);
+  auto tree = kruskal_mst_tree(g, 5);
+  EXPECT_EQ(tree.root(), 5u);
+  EXPECT_TRUE(is_mst(tree));
+  std::vector<bool> in_tree(g.m(), false);
+  for (auto e : kruskal_mst_edges(g)) in_tree[e] = true;
+  EXPECT_EQ(tree.tree_edge_bitmap(), in_tree);
+}
+
+TEST(Kruskal, DuplicateWeightsStillUniqueViaOmegaPrime) {
+  // All weights equal; omega-prime tie-break must give a deterministic MST.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) edges.push_back({u, v, 7});
+  }
+  auto g = WeightedGraph::from_edges(6, edges);
+  auto a = kruskal_mst_edges(g);
+  auto b = kruskal_mst_edges(g);
+  EXPECT_EQ(a, b);
+  std::vector<bool> in_tree(g.m(), false);
+  for (auto e : a) in_tree[e] = true;
+  EXPECT_TRUE(is_spanning_tree(g, in_tree));
+}
+
+// Property sweep: the non-MST generator always degrades total weight.
+class MstSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MstSweep, NonMstTreeIsStrictlyHeavier) {
+  Rng rng(GetParam());
+  auto g = gen::random_connected(48, 40, rng);
+  std::vector<bool> mst(g.m(), false);
+  Weight mst_w = 0;
+  for (auto e : kruskal_mst_edges(g)) {
+    mst[e] = true;
+    mst_w += g.edge(e).w;
+  }
+  std::vector<bool> bad;
+  ASSERT_TRUE(make_non_mst_spanning_tree(g, bad));
+  Weight bad_w = 0;
+  for (std::uint32_t e = 0; e < g.m(); ++e) {
+    if (bad[e]) bad_w += g.edge(e).w;
+  }
+  EXPECT_GT(bad_w, mst_w);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace ssmst

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mstalgo/reference_hierarchy.hpp"
+#include "partition/partitions.hpp"
+#include "util/bits.hpp"
+
+namespace ssmst {
+namespace {
+
+TEST(Partitions, ThresholdGrowsLogarithmically) {
+  EXPECT_EQ(top_threshold(1), 2u);
+  EXPECT_EQ(top_threshold(2), 2u);
+  EXPECT_EQ(top_threshold(16), 5u);
+  EXPECT_EQ(top_threshold(1024), 11u);
+}
+
+TEST(Partitions, ValidOnStandardSuite) {
+  for (const auto& [name, g] : gen::standard_suite(404)) {
+    auto ref = build_reference_hierarchy(g);
+    auto parts = build_partitions(*ref.hierarchy);
+    EXPECT_EQ(validate_partitions(*ref.hierarchy, parts), "") << name;
+  }
+}
+
+TEST(Partitions, SingleNodeGraph) {
+  auto g = WeightedGraph::from_edges(1, {});
+  auto ref = build_reference_hierarchy(g);
+  auto parts = build_partitions(*ref.hierarchy);
+  EXPECT_EQ(validate_partitions(*ref.hierarchy, parts), "");
+  EXPECT_EQ(parts.top_parts.size(), 1u);
+  EXPECT_EQ(parts.bot_parts.size(), 1u);
+}
+
+TEST(Partitions, TwoNodeGraph) {
+  auto g = WeightedGraph::from_edges(2, {{0, 1, 7}});
+  auto ref = build_reference_hierarchy(g);
+  auto parts = build_partitions(*ref.hierarchy);
+  EXPECT_EQ(validate_partitions(*ref.hierarchy, parts), "");
+}
+
+TEST(Partitions, EveryTopFragmentPieceReplicatedWhereNeeded) {
+  // Lemma 6.4 third bullet, exercised explicitly: for each node, its top
+  // part holds pieces for all top fragments containing it.
+  Rng rng(7);
+  auto g = gen::random_connected(200, 120, rng);
+  auto ref = build_reference_hierarchy(g);
+  auto parts = build_partitions(*ref.hierarchy);
+  ASSERT_EQ(validate_partitions(*ref.hierarchy, parts), "");
+  for (NodeId v = 0; v < g.n(); ++v) {
+    std::size_t top_count = 0;
+    for (const auto& [lev, f] : ref.hierarchy->membership(v)) {
+      if (parts.frag_is_top[f]) ++top_count;
+    }
+    EXPECT_GE(parts.top_parts[parts.top_part_of[v]].pieces.size(), top_count);
+  }
+}
+
+TEST(Partitions, BottomPartsAreSmall) {
+  Rng rng(8);
+  auto g = gen::random_connected(300, 200, rng);
+  auto ref = build_reference_hierarchy(g);
+  auto parts = build_partitions(*ref.hierarchy);
+  for (const auto& part : parts.bot_parts) {
+    EXPECT_LT(part.nodes.size(), parts.theta);
+    EXPECT_LE(part.pieces.size(), 2 * part.nodes.size());
+  }
+}
+
+TEST(Partitions, TopPartsMeetSizeAndDiameterBounds) {
+  Rng rng(9);
+  auto g = gen::random_connected(500, 350, rng);
+  auto ref = build_reference_hierarchy(g);
+  auto parts = build_partitions(*ref.hierarchy);
+  const RootedTree& t = ref.tree ? *ref.tree : ref.hierarchy->tree();
+  for (const auto& part : parts.top_parts) {
+    EXPECT_GE(part.nodes.size(), parts.theta);
+    for (NodeId v : part.nodes) {
+      std::uint32_t d = 0;
+      NodeId x = v;
+      while (x != part.root) {
+        x = t.parent(x);
+        ++d;
+      }
+      EXPECT_LE(d, 8 * parts.theta);
+    }
+  }
+}
+
+TEST(Partitions, PathGraphStress) {
+  // Long paths produce deep parts; the split must keep diameters bounded.
+  Rng rng(10);
+  auto g = gen::path(400, rng);
+  auto ref = build_reference_hierarchy(g);
+  auto parts = build_partitions(*ref.hierarchy);
+  EXPECT_EQ(validate_partitions(*ref.hierarchy, parts), "");
+  EXPECT_GT(parts.top_parts.size(), 1u);
+}
+
+TEST(Partitions, PermanentPairsHoldAtMostTwoPieces) {
+  Rng rng(11);
+  auto g = gen::random_connected(150, 90, rng);
+  auto ref = build_reference_hierarchy(g);
+  auto parts = build_partitions(*ref.hierarchy);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_LE(parts.perm_top_pieces(v).size(), 2u);
+    EXPECT_LE(parts.perm_bot_pieces(v).size(), 2u);
+  }
+}
+
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<NodeId, std::uint64_t>> {};
+
+TEST_P(PartitionSweep, ValidAcrossSizesAndSeeds) {
+  auto [n, seed] = GetParam();
+  Rng rng(seed);
+  auto g = gen::random_connected(n, n / 3 + 2, rng);
+  auto ref = build_reference_hierarchy(g);
+  auto parts = build_partitions(*ref.hierarchy);
+  EXPECT_EQ(validate_partitions(*ref.hierarchy, parts), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PartitionSweep,
+    ::testing::Combine(::testing::Values(3, 9, 33, 90, 257),
+                       ::testing::Values(5, 6, 7)));
+
+}  // namespace
+}  // namespace ssmst

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/faults.hpp"
+#include "sim/simulation.hpp"
+
+namespace ssmst {
+namespace {
+
+/// Toy protocol: synchronous BFS-style flooding of the maximum id seen.
+/// Used to validate scheduler semantics.
+struct FloodState {
+  std::uint64_t value = 0;
+  bool alarm = false;
+};
+
+class FloodProtocol final : public Protocol<FloodState> {
+ public:
+  explicit FloodProtocol(const WeightedGraph& g) : g_(&g) {}
+
+  void step(NodeId v, FloodState& self, const NeighborReader<FloodState>& nbr,
+            std::uint64_t) override {
+    (void)v;
+    for (std::uint32_t p = 0; p < nbr.degree(); ++p) {
+      self.value = std::max(self.value, nbr.at_port(p).value);
+    }
+  }
+  std::size_t state_bits(const FloodState&, NodeId) const override {
+    return 64;
+  }
+  bool alarmed(const FloodState& s) const override { return s.alarm; }
+  void corrupt(FloodState& s, NodeId, Rng& rng) const override {
+    s.value = rng.next();
+  }
+
+ private:
+  const WeightedGraph* g_;
+};
+
+TEST(Simulation, SyncFloodTakesEccentricityRounds) {
+  Rng rng(1);
+  auto g = gen::path(9, rng);
+  FloodProtocol proto(g);
+  std::vector<FloodState> init(g.n());
+  init[0].value = 99;  // flood source at one end of the path
+  Simulation<FloodState> sim(g, proto, init);
+  for (int r = 0; r < 8; ++r) {
+    // Node 8 must not know the value before round 8.
+    EXPECT_NE(sim.state(8).value, 99u) << "round " << r;
+    sim.sync_round();
+  }
+  EXPECT_EQ(sim.state(8).value, 99u);
+  EXPECT_EQ(sim.time(), 8u);
+}
+
+TEST(Simulation, SyncIsLockStep) {
+  // In lock-step semantics the value advances exactly one hop per round,
+  // regardless of node processing order within the round.
+  Rng rng(2);
+  auto g = gen::path(5, rng);
+  FloodProtocol proto(g);
+  std::vector<FloodState> init(g.n());
+  init[4].value = 7;  // highest-index node: in-place order would short-cut
+  Simulation<FloodState> sim(g, proto, init);
+  sim.sync_round();
+  EXPECT_EQ(sim.state(3).value, 7u);
+  EXPECT_EQ(sim.state(2).value, 0u);
+}
+
+TEST(Simulation, AsyncUnitActivatesEveryone) {
+  Rng rng(3);
+  auto g = gen::star(10, rng);
+  FloodProtocol proto(g);
+  std::vector<FloodState> init(g.n());
+  init[3].value = 50;
+  Simulation<FloodState> sim(g, proto, init);
+  Rng daemon(4);
+  // One unit flushes through the hub in at most 2 units under any order.
+  sim.async_unit(daemon);
+  sim.async_unit(daemon);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(sim.state(v).value, 50u) << "node " << v;
+  }
+}
+
+TEST(Simulation, AlarmTimesRecorded) {
+  Rng rng(5);
+  auto g = gen::path(4, rng);
+  FloodProtocol proto(g);
+  std::vector<FloodState> init(g.n());
+  Simulation<FloodState> sim(g, proto, init);
+  EXPECT_FALSE(sim.first_alarm_time().has_value());
+  sim.sync_round();
+  sim.state(2).alarm = true;
+  sim.sync_round();
+  ASSERT_TRUE(sim.first_alarm_time().has_value());
+  EXPECT_EQ(sim.alarmed_nodes(), std::vector<NodeId>{2});
+  sim.reset_alarm_history();
+  EXPECT_FALSE(sim.first_alarm_time().has_value());
+}
+
+TEST(Faults, PickFaultNodesDistinct) {
+  Rng rng(6);
+  auto victims = pick_fault_nodes(20, 5, rng);
+  EXPECT_EQ(victims.size(), 5u);
+  std::set<NodeId> uniq(victims.begin(), victims.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(Faults, InjectUsesProtocolCorruption) {
+  Rng rng(7);
+  auto g = gen::path(6, rng);
+  FloodProtocol proto(g);
+  std::vector<FloodState> regs(g.n());
+  Rng frng(8);
+  auto victims = inject_faults<FloodState>(proto, regs, 2, frng);
+  EXPECT_EQ(victims.size(), 2u);
+  for (NodeId v : victims) EXPECT_NE(regs[v].value, 0u);
+}
+
+TEST(Faults, DetectionDistance) {
+  Rng rng(9);
+  auto g = gen::path(10, rng);
+  // fault at 0, alarms at 3 and 7 -> distance 3.
+  EXPECT_EQ(detection_distance(g, {0}, {3, 7}), 3u);
+  // faults at 0 and 9 -> distances 3 and 2 -> max 3.
+  EXPECT_EQ(detection_distance(g, {0, 9}, {3, 7}), 3u);
+  // no alarms -> "infinite".
+  EXPECT_EQ(detection_distance(g, {0}, {}),
+            std::numeric_limits<std::uint32_t>::max());
+  // fault node itself alarming -> 0.
+  EXPECT_EQ(detection_distance(g, {4}, {4}), 0u);
+}
+
+}  // namespace
+}  // namespace ssmst
