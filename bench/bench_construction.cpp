@@ -18,7 +18,7 @@ using namespace ssmst;
 int main() {
   std::puts("== E1: construction time and memory (SYNC_MST vs GHS-style) ==");
   Table t({"n", "sync_mst rounds", "rounds/n", "ghs rounds", "ghs/(n log n)",
-           "sync bits", "bits/log n", "marker rounds"});
+           "sync bits", "bits/log n", "activations", "marker rounds"});
   std::vector<double> ns, sync_rounds;
   Rng rng(42);
   for (NodeId n : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
@@ -33,6 +33,7 @@ int main() {
                Table::num(static_cast<double>(ghs.rounds) / (n * logn), 2),
                Table::num(std::uint64_t{fast.max_state_bits}),
                Table::num(static_cast<double>(fast.max_state_bits) / logn, 2),
+               Table::num(fast.sim.activations),
                Table::num(m.schedule_rounds)});
     ns.push_back(n);
     sync_rounds.push_back(static_cast<double>(fast.rounds));

@@ -53,6 +53,92 @@ void BM_SyncMstFullRun(benchmark::State& state) {
 }
 BENCHMARK(BM_SyncMstFullRun)->Arg(256);
 
+// Raw engine throughput: how many synchronous rounds per second the
+// simulator sustains on the 1024-node random graph with a light POD
+// protocol. This isolates the per-round engine overhead (register-file
+// handling + accounting) from protocol logic, which is what the
+// double-buffered sync_round is meant to shrink.
+// Each variant gets its own State type so each Simulation instantiation has
+// a single runtime protocol target, as everywhere else in the library (one
+// protocol per register type) — this keeps the call sites devirtualizable.
+struct PulseState {
+  std::uint64_t pulse = 0;
+  std::uint64_t seen_max = 0;
+};
+
+class PulseProtocol final : public Protocol<PulseState> {
+ public:
+  void step(NodeId, PulseState& self, const NeighborReader<PulseState>& nbr,
+            std::uint64_t) override {
+    std::uint64_t m = self.pulse;
+    for (std::uint32_t p = 0; p < nbr.degree(); ++p) {
+      m = std::max(m, nbr.at_port(p).pulse);
+    }
+    self.seen_max = m;
+    self.pulse = m + 1;
+  }
+  std::size_t state_bits(const PulseState&, NodeId) const override {
+    return 128;
+  }
+};
+
+/// Same computation, but through the double-buffered fast path: the whole
+/// next register is rewritten from the round-t snapshot, so the per-node
+/// seed copy of the default sync path is elided.
+struct ZcPulseState {
+  std::uint64_t pulse = 0;
+  std::uint64_t seen_max = 0;
+};
+
+class ZeroCopyPulseProtocol final : public Protocol<ZcPulseState> {
+ public:
+  void step(NodeId v, ZcPulseState& self,
+            const NeighborReader<ZcPulseState>& nbr,
+            std::uint64_t time) override {
+    step_into(v, self, self, nbr, time);
+  }
+  void step_into(NodeId, const ZcPulseState& prev, ZcPulseState& next,
+                 const NeighborReader<ZcPulseState>& nbr,
+                 std::uint64_t) override {
+    std::uint64_t m = prev.pulse;
+    for (std::uint32_t p = 0; p < nbr.degree(); ++p) {
+      m = std::max(m, nbr.at_port(p).pulse);
+    }
+    next.seen_max = m;
+    next.pulse = m + 1;
+  }
+  bool rewrites_register() const override { return true; }
+  std::size_t state_bits(const ZcPulseState&, NodeId) const override {
+    return 128;
+  }
+};
+
+void BM_SimSyncRound(benchmark::State& state) {
+  const auto& g = test_graph(static_cast<NodeId>(state.range(0)));
+  PulseProtocol proto;
+  Simulation<PulseState> sim(g, proto, std::vector<PulseState>(g.n()));
+  for (auto _ : state) {
+    sim.sync_round();
+  }
+  state.SetItemsProcessed(state.iterations() * g.n());
+  state.counters["rounds/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimSyncRound)->Arg(1024);
+
+void BM_SimSyncRoundZeroCopy(benchmark::State& state) {
+  const auto& g = test_graph(static_cast<NodeId>(state.range(0)));
+  ZeroCopyPulseProtocol proto;
+  Simulation<ZcPulseState> sim(g, proto, std::vector<ZcPulseState>(g.n()));
+  for (auto _ : state) {
+    sim.sync_round();
+  }
+  state.SetItemsProcessed(state.iterations() * g.n());
+  state.counters["rounds/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimSyncRoundZeroCopy)->Arg(1024);
+
 void BM_VerifierRound(benchmark::State& state) {
   const auto& g = test_graph(static_cast<NodeId>(state.range(0)));
   VerifierConfig cfg;

@@ -25,6 +25,8 @@ int main() {
               static_cast<unsigned long long>(rep.construction_rounds));
   std::printf("construction bits/node    : %zu  (paper: O(log n))\n",
               rep.construction_bits);
+  std::printf("construction activations  : %llu\n",
+              static_cast<unsigned long long>(rep.construction_activations));
   std::printf("hierarchy height          : %d  (<= ceil(log2 n))\n",
               rep.hierarchy_height);
   std::printf("fragments                 : %zu\n", rep.fragment_count);

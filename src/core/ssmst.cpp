@@ -10,8 +10,9 @@ InstanceReport analyze_instance(const WeightedGraph& g,
 
   auto run = run_sync_mst(g);
   rep.mst_weight = run.tree->total_weight();
-  rep.construction_rounds = run.rounds;
-  rep.construction_bits = run.max_state_bits;
+  rep.construction_rounds = run.sim.rounds;
+  rep.construction_activations = run.sim.activations;
+  rep.construction_bits = run.sim.peak_bits;
 
   VerifierConfig cfg;
   VerifierHarness harness(g, cfg, /*daemon_seed=*/1);

@@ -19,6 +19,27 @@
 ///                                MST construction, with pluggable
 ///                                checkers for baseline comparisons.
 ///  * tau_transform()           — the lower-bound reduction of Section 9.
+///
+/// Substrate (the layers every PR builds on):
+///
+///  * WeightedGraph is a compressed-sparse-row graph: adjacency lives in
+///    one flat half-edge array indexed by an offsets array, neighbors(v)
+///    is a contiguous std::span (port == position in the span), port_to()
+///    is a linear scan for low degrees and a sorted per-hub index above
+///    WeightedGraph::kHubDegree, and node_of_id() is O(log n). Build
+///    graphs with the two-pass bulk WeightedGraph::from_edges().
+///
+///  * Simulation<State> is double-buffered: sync_round() steps every node
+///    from the front register buffer into the back buffer in one fused
+///    sweep (accounting included) and swaps — no bulk register-file copy.
+///    Protocols that rewrite their whole register can override
+///    Protocol::step_into() to elide the per-node seed copy as well.
+///
+///  * SimulationStats (Simulation::stats()) is the single metrology
+///    surface: time, rounds/units, activations, first-alarm time and
+///    latency epoch, alarmed-node count, and the running peak register
+///    size in bits. Run reports (SyncMstRun, GhsRun, MultiWaveResult,
+///    DetectionResult) embed it; do not grow parallel ad-hoc counters.
 
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
@@ -54,6 +75,7 @@ struct InstanceReport {
   std::size_t m = 0;
   Weight mst_weight = 0;
   std::uint64_t construction_rounds = 0;
+  std::uint64_t construction_activations = 0;
   std::size_t construction_bits = 0;
   int hierarchy_height = 0;
   std::size_t fragment_count = 0;

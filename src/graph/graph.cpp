@@ -10,10 +10,9 @@ namespace ssmst {
 
 WeightedGraph WeightedGraph::from_edges(NodeId n, std::vector<Edge> edges) {
   WeightedGraph g;
-  g.adj_.assign(n, {});
-  std::set<std::pair<NodeId, NodeId>> seen;
-  g.edges_.reserve(edges.size());
-  for (Edge e : edges) {
+  // Pass 1: validate, canonicalize endpoint order, count degrees.
+  std::vector<std::uint32_t> deg(n, 0);
+  for (Edge& e : edges) {
     if (e.u >= n || e.v >= n) {
       throw std::invalid_argument("edge endpoint out of range");
     }
@@ -21,19 +20,38 @@ WeightedGraph WeightedGraph::from_edges(NodeId n, std::vector<Edge> edges) {
       throw std::invalid_argument("self-loop not allowed");
     }
     if (e.u > e.v) std::swap(e.u, e.v);
-    if (!seen.insert({e.u, e.v}).second) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  // Duplicate detection on a sorted key array (no per-edge set nodes).
+  {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(edges.size());
+    for (const Edge& e : edges) {
+      keys.push_back((static_cast<std::uint64_t>(e.u) << 32) | e.v);
+    }
+    std::sort(keys.begin(), keys.end());
+    if (std::adjacent_find(keys.begin(), keys.end()) != keys.end()) {
       throw std::invalid_argument("duplicate edge");
     }
-    const auto idx = static_cast<std::uint32_t>(g.edges_.size());
-    g.edges_.push_back(e);
-    const auto port_u = static_cast<std::uint32_t>(g.adj_[e.u].size());
-    const auto port_v = static_cast<std::uint32_t>(g.adj_[e.v].size());
-    g.adj_[e.u].push_back(HalfEdge{e.v, e.w, port_v, idx});
-    g.adj_[e.v].push_back(HalfEdge{e.u, e.w, port_u, idx});
   }
+  // Pass 2: prefix sums, then fill both halves of every edge. Ports are
+  // positions in insertion order, matching the old nested layout exactly.
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
   for (NodeId v = 0; v < n; ++v) {
-    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+    g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+    g.max_degree_ = std::max(g.max_degree_, deg[v]);
   }
+  g.half_edges_.resize(2 * edges.size());
+  std::vector<std::uint32_t> cursor(n, 0);
+  for (std::uint32_t idx = 0; idx < edges.size(); ++idx) {
+    const Edge& e = edges[idx];
+    const std::uint32_t port_u = cursor[e.u]++;
+    const std::uint32_t port_v = cursor[e.v]++;
+    g.half_edges_[g.offsets_[e.u] + port_u] = HalfEdge{e.v, e.w, port_v, idx};
+    g.half_edges_[g.offsets_[e.v] + port_v] = HalfEdge{e.u, e.w, port_u, idx};
+  }
+  g.edges_ = std::move(edges);
   // Default identifiers: a fixed pseudo-random permutation of [0, n), so
   // that ID order differs from index order (algorithms must not rely on
   // index order). Deterministic so tests are stable.
@@ -46,18 +64,50 @@ WeightedGraph WeightedGraph::from_edges(NodeId n, std::vector<Edge> edges) {
     s ^= s << 17;
     std::swap(g.ids_[v - 1], g.ids_[s % v]);
   }
+  g.build_indices();
   return g;
 }
 
-NodeId WeightedGraph::node_of_id(std::uint64_t id) const {
-  for (NodeId v = 0; v < n(); ++v) {
-    if (ids_[v] == id) return v;
+void WeightedGraph::build_indices() {
+  const NodeId nn = n();
+  // Hub index: nodes above kHubDegree get a (neighbour, port) list sorted
+  // by neighbour id, packed CSR-style into hub_entries_.
+  hub_off_.assign(static_cast<std::size_t>(nn) + 1, 0);
+  for (NodeId v = 0; v < nn; ++v) {
+    hub_off_[v + 1] =
+        hub_off_[v] + (degree(v) > kHubDegree ? degree(v) : 0);
   }
+  hub_entries_.resize(hub_off_[nn]);
+  for (NodeId v = 0; v < nn; ++v) {
+    if (degree(v) <= kHubDegree) continue;
+    const auto nbrs = neighbors(v);
+    auto* out = hub_entries_.data() + hub_off_[v];
+    for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
+      out[p] = {nbrs[p].to, p};
+    }
+    std::sort(out, out + nbrs.size());
+  }
+  rebuild_id_index();
+}
+
+void WeightedGraph::rebuild_id_index() {
+  id_index_.resize(n());
+  for (NodeId v = 0; v < n(); ++v) id_index_[v] = {ids_[v], v};
+  std::sort(id_index_.begin(), id_index_.end());
+}
+
+NodeId WeightedGraph::node_of_id(std::uint64_t id) const {
+  const auto it = std::lower_bound(
+      id_index_.begin(), id_index_.end(), id,
+      [](const std::pair<std::uint64_t, NodeId>& e, std::uint64_t x) {
+        return e.first < x;
+      });
+  if (it != id_index_.end() && it->first == id) return it->second;
   return kNoNode;
 }
 
 void WeightedGraph::set_ids(std::vector<std::uint64_t> ids) {
-  if (ids.size() != adj_.size()) {
+  if (ids.size() != n()) {
     throw std::invalid_argument("id vector size mismatch");
   }
   std::set<std::uint64_t> uniq(ids.begin(), ids.end());
@@ -65,6 +115,7 @@ void WeightedGraph::set_ids(std::vector<std::uint64_t> ids) {
     throw std::invalid_argument("node identifiers must be unique");
   }
   ids_ = std::move(ids);
+  rebuild_id_index();
 }
 
 bool WeightedGraph::has_distinct_weights() const {
@@ -84,10 +135,22 @@ bool WeightedGraph::is_connected() const {
 }
 
 std::uint32_t WeightedGraph::port_to(NodeId v, NodeId u) const {
-  for (std::uint32_t p = 0; p < adj_[v].size(); ++p) {
-    if (adj_[v][p].to == u) return p;
+  const auto nbrs = neighbors(v);
+  if (nbrs.size() <= kHubDegree) {
+    for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
+      if (nbrs[p].to == u) return p;
+    }
+    return kNoPort;
   }
-  return std::numeric_limits<std::uint32_t>::max();
+  const auto first = hub_entries_.begin() + hub_off_[v];
+  const auto last = hub_entries_.begin() + hub_off_[v + 1];
+  const auto it = std::lower_bound(
+      first, last, u,
+      [](const std::pair<NodeId, std::uint32_t>& e, NodeId x) {
+        return e.first < x;
+      });
+  if (it != last && it->first == u) return it->second;
+  return kNoPort;
 }
 
 std::vector<std::uint32_t> WeightedGraph::bfs_distances(NodeId src) const {
@@ -99,7 +162,7 @@ std::vector<std::uint32_t> WeightedGraph::bfs_distances(NodeId src) const {
   while (!q.empty()) {
     const NodeId v = q.front();
     q.pop();
-    for (const HalfEdge& he : adj_[v]) {
+    for (const HalfEdge& he : neighbors(v)) {
       if (dist[he.to] == std::numeric_limits<std::uint32_t>::max()) {
         dist[he.to] = dist[v] + 1;
         q.push(he.to);

@@ -4,6 +4,7 @@
 #include <limits>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ssmst {
@@ -32,7 +33,7 @@ struct Edge {
 };
 
 /// One directed half of an undirected edge, as seen from its owner node.
-/// The position of a HalfEdge inside the owner's adjacency list is the
+/// The position of a HalfEdge inside the owner's adjacency span is the
 /// *port number* of that edge at the owner (Section 2.1 of the paper:
 /// port numbers are local and independent between the two endpoints).
 struct HalfEdge {
@@ -46,6 +47,13 @@ struct HalfEdge {
 /// unique node identifiers.
 ///
 /// This is the static substrate every algorithm in the library runs on.
+/// Adjacency is stored in compressed-sparse-row form: one flat array of
+/// half-edges (`half_edges_`) indexed by an offsets array (`offsets_`),
+/// so `neighbors(v)` is a contiguous span and a whole-graph sweep walks
+/// memory linearly. Port numbers are positions inside a node's span and
+/// follow the edge-list insertion order, exactly as with the old nested
+/// layout.
+///
 /// Nodes are indexed 0..n-1 internally; algorithms that compare identities
 /// must use id(v), which is an arbitrary unique value (by default a
 /// pseudo-random permutation so that index order and ID order differ, as in
@@ -54,18 +62,22 @@ class WeightedGraph {
  public:
   WeightedGraph() = default;
 
-  /// Builds a graph from an edge list. Duplicate edges and self-loops are
-  /// rejected via Error. Edge endpoints must be < n.
+  /// Builds a graph from an edge list in two passes (degree count, then
+  /// fill). Duplicate edges and self-loops are rejected via
+  /// std::invalid_argument. Edge endpoints must be < n.
   static WeightedGraph from_edges(NodeId n, std::vector<Edge> edges);
 
-  NodeId n() const { return static_cast<NodeId>(adj_.size()); }
+  NodeId n() const {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
   std::size_t m() const { return edges_.size(); }
 
+  /// Contiguous adjacency span of v; index == port number.
   std::span<const HalfEdge> neighbors(NodeId v) const {
-    return adj_[v];
+    return {half_edges_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
   }
   std::uint32_t degree(NodeId v) const {
-    return static_cast<std::uint32_t>(adj_[v].size());
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
   }
   std::uint32_t max_degree() const { return max_degree_; }
 
@@ -76,13 +88,14 @@ class WeightedGraph {
 
   /// The half-edge at port `port` of node `v`.
   const HalfEdge& half_edge(NodeId v, std::uint32_t port) const {
-    return adj_[v][port];
+    return half_edges_[offsets_[v] + port];
   }
 
   /// Unique identifier of node v (an O(log n)-bit value).
   std::uint64_t id(NodeId v) const { return ids_[v]; }
 
-  /// Node index holding identifier `id`, or kNoNode.
+  /// Node index holding identifier `id`, or kNoNode. O(log n) via a
+  /// sorted (id, node) index.
   NodeId node_of_id(std::uint64_t id) const;
 
   /// Replaces node identifiers. Values must be unique; size must equal n.
@@ -94,7 +107,10 @@ class WeightedGraph {
   /// True if the graph is connected (n == 0 counts as connected).
   bool is_connected() const;
 
-  /// Port at `v` leading to `u`, or max value if (v,u) is not an edge.
+  /// Port at `v` leading to `u`, or kNoPort if (v,u) is not an edge.
+  /// Low-degree nodes use a linear scan over the contiguous span; hubs
+  /// (degree > kHubDegree) use a per-node index sorted by neighbour, so
+  /// the lookup is O(min(deg, kHubDegree) + log deg) worst case.
   std::uint32_t port_to(NodeId v, NodeId u) const;
 
   /// Hop distance matrix row: BFS distances from `src` (in edges).
@@ -105,10 +121,29 @@ class WeightedGraph {
 
   std::string summary() const;
 
+  /// Degree above which port_to() switches from linear scan to the sorted
+  /// per-hub index.
+  static constexpr std::uint32_t kHubDegree = 8;
+
  private:
-  std::vector<std::vector<HalfEdge>> adj_;
+  void build_indices();
+  void rebuild_id_index();
+
+  // CSR adjacency: half_edges_[offsets_[v] .. offsets_[v+1]) are the ports
+  // of v, in edge-list insertion order.
+  std::vector<HalfEdge> half_edges_;
+  std::vector<std::uint32_t> offsets_;
   std::vector<Edge> edges_;
   std::vector<std::uint64_t> ids_;
+
+  // Hub acceleration for port_to(): for every node with degree > kHubDegree
+  // a (neighbour, port) list sorted by neighbour, itself in CSR form.
+  std::vector<std::uint32_t> hub_off_;
+  std::vector<std::pair<NodeId, std::uint32_t>> hub_entries_;
+
+  // Sorted (id, node) pairs for O(log n) node_of_id().
+  std::vector<std::pair<std::uint64_t, NodeId>> id_index_;
+
   std::uint32_t max_degree_ = 0;
 };
 

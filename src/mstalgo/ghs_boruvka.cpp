@@ -206,8 +206,9 @@ GhsRun run_ghs_boruvka(const WeightedGraph& g) {
   GhsRun run;
   run.tree = std::make_unique<RootedTree>(
       RootedTree::from_parents(g, root, parent));
-  run.rounds = sim.time();
-  run.max_state_bits = sim.max_state_bits();
+  run.sim = sim.stats();
+  run.rounds = run.sim.rounds;
+  run.max_state_bits = run.sim.peak_bits;
   return run;
 }
 

@@ -302,8 +302,9 @@ SyncMstRun run_sync_mst(const WeightedGraph& g) {
   SyncMstRun run;
   run.tree = std::make_unique<RootedTree>(
       RootedTree::from_parents(g, root, parent));
-  run.rounds = sim.time();
-  run.max_state_bits = sim.max_state_bits();
+  run.sim = sim.stats();
+  run.rounds = run.sim.rounds;
+  run.max_state_bits = run.sim.peak_bits;
   run.active_trace = proto.active_trace();
   return run;
 }

@@ -136,10 +136,15 @@ MultiWaveResult run_multiwave(const MarkerOutput& marker, bool pipelined) {
   const std::uint64_t top_bit = 1ULL << (len - 1);
   MultiWaveResult res;
   while (!(sim.state(root).echoed & top_bit)) {
-    if (sim.time() > bound) return res;  // not completed
+    if (sim.time() > bound) {
+      res.sim = sim.stats();
+      res.rounds = res.sim.rounds;
+      return res;  // not completed
+    }
     sim.sync_round();
   }
-  res.rounds = sim.time();
+  res.sim = sim.stats();
+  res.rounds = res.sim.rounds;
   res.completed = true;
   return res;
 }

@@ -20,8 +20,9 @@ struct MultiWaveState {
 
 /// Result of one Multi_Wave execution.
 struct MultiWaveResult {
-  std::uint64_t rounds = 0;
+  std::uint64_t rounds = 0;  ///< mirror of sim.rounds (legacy)
   bool completed = false;
+  SimulationStats sim;  ///< full engine accounting (activations, peak bits)
 };
 
 /// Runs the Multi_Wave primitive of Section 6.3.1 over the marked tree:

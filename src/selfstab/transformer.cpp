@@ -48,6 +48,7 @@ struct SelfStabilizingMst::Impl {
   }
 
   void note_bits(std::size_t b) { max_bits = std::max(max_bits, b); }
+  void note_sim(const SimulationStats& s) { note_bits(s.peak_bits); }
 
   std::uint64_t detect_budget() const {
     const std::uint64_t base =
@@ -186,11 +187,11 @@ struct SelfStabilizingMst::Impl {
           } else {
             train_sim->async_unit(rng);
           }
-          if (train_sim->first_alarm_time()) break;
+          if (train_sim->stats().first_alarm) break;
         }
-        note_bits(train_sim->max_state_bits());
+        note_sim(train_sim->stats());
         out.time = train_sim->time() - start;
-        out.alarmed = train_sim->first_alarm_time().has_value();
+        out.alarmed = train_sim->stats().first_alarm.has_value();
         out.seeds = train_sim->alarmed_nodes();
         return out;
       }
@@ -203,11 +204,11 @@ struct SelfStabilizingMst::Impl {
           } else {
             kkp_sim->async_unit(rng);
           }
-          if (kkp_sim->first_alarm_time()) break;
+          if (kkp_sim->stats().first_alarm) break;
         }
-        note_bits(kkp_sim->max_state_bits());
+        note_sim(kkp_sim->stats());
         out.time = kkp_sim->time() - start;
-        out.alarmed = kkp_sim->first_alarm_time().has_value();
+        out.alarmed = kkp_sim->stats().first_alarm.has_value();
         out.seeds = kkp_sim->alarmed_nodes();
         return out;
       }
@@ -215,7 +216,7 @@ struct SelfStabilizingMst::Impl {
         // Checking is re-running the construction and comparing outputs;
         // the detection time is the construction time.
         auto run = run_sync_mst(g);
-        note_bits(run.max_state_bits);
+        note_sim(run.sim);
         out.time = run.rounds;
         const auto ports = current_ports();
         for (NodeId v = 0; v < g.n(); ++v) {
@@ -241,7 +242,7 @@ struct SelfStabilizingMst::Impl {
                   opt.synchronous, rng);
     if (opt.synchronous) {
       auto run = run_sync_mst(g);
-      note_bits(run.max_state_bits);
+      note_sim(run.sim);
       rep.build_time += run.rounds;
     } else {
       SyncMstProtocol inner(g);
@@ -272,7 +273,7 @@ struct SelfStabilizingMst::Impl {
         }
         sim.async_unit(rng);
       }
-      note_bits(sim.max_state_bits());
+      note_sim(sim.stats());
       rep.build_time += sim.time();
     }
     auto marker = make_labels(g);
@@ -294,7 +295,8 @@ struct SelfStabilizingMst::Impl {
           }
         }
         rep.verify_quiet_time += opt.quiet_units;
-        return !train_sim->first_alarm_time().has_value();
+        note_sim(train_sim->stats());
+        return !train_sim->stats().first_alarm.has_value();
       }
       case CheckerKind::kKkpVerifier: {
         kkp_sim->reset_alarm_history();
@@ -306,7 +308,8 @@ struct SelfStabilizingMst::Impl {
           }
         }
         rep.verify_quiet_time += opt.quiet_units;
-        return !kkp_sim->first_alarm_time().has_value();
+        note_sim(kkp_sim->stats());
+        return !kkp_sim->stats().first_alarm.has_value();
       }
       case CheckerKind::kRecompute:
         return true;  // components_form_mst() is the closure statement

@@ -29,7 +29,7 @@ struct DataLinkSender {
   };
 
   /// True if a new message can be loaded now.
-  bool ready(const AckView& receiver) const {
+  bool ready(const AckView& receiver) const noexcept {
     return !loaded || receiver.ack == toggle;
   }
 

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -12,28 +13,34 @@ namespace ssmst {
 /// Read-only view of neighbours' public registers, as seen by one node
 /// during one activation. The paper's "ideal time" model (Section 2.1):
 /// a node reads *all* of its neighbours within a single time unit.
+///
+/// Backed directly by the CSR adjacency span plus the raw register array,
+/// so every port access is one contiguous load — no per-read indirection
+/// through the graph object.
 template <typename State>
 class NeighborReader {
  public:
   NeighborReader(const WeightedGraph& g, const std::vector<State>& regs,
                  NodeId self)
-      : g_(&g), regs_(&regs), self_(self) {}
+      : links_(g.neighbors(self)), regs_(regs.data()), self_(self) {}
 
-  std::uint32_t degree() const { return g_->degree(self_); }
+  NodeId self() const { return self_; }
+
+  std::uint32_t degree() const {
+    return static_cast<std::uint32_t>(links_.size());
+  }
 
   /// Register of the neighbour behind local port `port`.
   const State& at_port(std::uint32_t port) const {
-    return (*regs_)[g_->half_edge(self_, port).to];
+    return regs_[links_[port].to];
   }
 
   /// Static link information for port `port`.
-  const HalfEdge& link(std::uint32_t port) const {
-    return g_->half_edge(self_, port);
-  }
+  const HalfEdge& link(std::uint32_t port) const { return links_[port]; }
 
  private:
-  const WeightedGraph* g_;
-  const std::vector<State>* regs_;
+  std::span<const HalfEdge> links_;
+  const State* regs_;
   NodeId self_;
 };
 
@@ -54,6 +61,29 @@ class Protocol {
   /// model permits synchronized wake-up, and for tracing).
   virtual void step(NodeId v, State& self, const NeighborReader<State>& nbr,
                     std::uint64_t time) = 0;
+
+  /// One *synchronous* activation of node v, writing the round-(t+1) state
+  /// into `next` while `prev` and the neighbour view hold the round-t
+  /// snapshot. This is the zero-copy hook of the double-buffered
+  /// Simulation::sync_round: protocols that rewrite their whole register
+  /// anyway override it (and rewrites_register()) to skip the per-node
+  /// seed copy. The default seeds `next` from `prev` and runs the
+  /// in-place `step`, so existing protocols work unchanged.
+  ///
+  /// `next` may hold a stale register from two rounds ago (the back
+  /// buffer); overrides must fully determine its value.
+  virtual void step_into(NodeId v, const State& prev, State& next,
+                         const NeighborReader<State>& nbr,
+                         std::uint64_t time) {
+    next = prev;
+    step(v, next, nbr, time);
+  }
+
+  /// Must return true iff step_into() is overridden to fully rewrite
+  /// `next` without reading it. The simulation queries this once and then
+  /// drives sync rounds with a single virtual call per activation on
+  /// either path (seed-copy + step, or step_into).
+  virtual bool rewrites_register() const { return false; }
 
   /// Semantic size of the state in bits (see DESIGN.md section 1).
   virtual std::size_t state_bits(const State& s, NodeId v) const = 0;

@@ -18,14 +18,42 @@ enum class DaemonOrder {
   kReverse,     ///< fixed reverse order (an adversarial-flavoured schedule)
 };
 
+/// Aggregate accounting for one simulation, maintained incrementally so
+/// every query is O(1). This is the single metrology surface consumed by
+/// verify/metrology.cpp, selfstab/transformer.cpp and the benches —
+/// protocols and harnesses should not keep parallel ad-hoc counters.
+struct SimulationStats {
+  std::uint64_t time = 0;         ///< current logical time
+  std::uint64_t rounds = 0;       ///< synchronous rounds executed
+  std::uint64_t units = 0;        ///< asynchronous units executed
+  std::uint64_t activations = 0;  ///< total node activations
+  std::uint64_t epoch = 0;        ///< time of the last alarm-history reset
+  std::optional<std::uint64_t> first_alarm;  ///< earliest alarm since epoch
+  std::uint64_t alarmed_nodes = 0;  ///< nodes alarmed since epoch
+  std::size_t peak_bits = 0;        ///< running max register size, in bits
+
+  /// Time units from the last epoch (construction or alarm-history reset)
+  /// to the first alarm — the detection latency of the current experiment.
+  std::optional<std::uint64_t> alarm_latency() const {
+    if (!first_alarm) return std::nullopt;
+    return *first_alarm - epoch;
+  }
+};
+
 /// Executes a Protocol over a WeightedGraph under either scheduler and
 /// tracks alarms, elapsed time and the running maximum register size.
 ///
 /// Synchronous semantics: in `sync_round` every node computes its next
-/// state from the *previous* round's registers (lock-step).
+/// state from the *previous* round's registers (lock-step). The round is
+/// double-buffered: nodes read the front buffer (`regs_`) and write the
+/// back buffer (`scratch_`), and the buffers are swapped at the end of the
+/// round — there is no bulk register-file copy. Accounting is folded into
+/// the same pass, so one round makes exactly one sweep over the registers.
+///
 /// Asynchronous semantics: in `async_unit` every node is activated exactly
 /// once, in daemon order, reading current (mixed) registers — the standard
 /// weakly fair central daemon; one unit is one "ideal time" unit.
+/// Accounting for the unit is batched into a single pass at its end.
 template <typename State>
 class Simulation {
  public:
@@ -33,32 +61,54 @@ class Simulation {
              std::vector<State> init)
       : g_(&g),
         proto_(&proto),
+        rewrites_register_(proto.rewrites_register()),
         regs_(std::move(init)),
-        alarm_time_(g.n(), std::nullopt) {
-    scratch_ = regs_;
-    record_all();
+        scratch_(regs_.size()),
+        alarm_time_(g.n(), kNever) {
+    record_pass(/*stamp=*/0);
   }
 
   const WeightedGraph& graph() const { return *g_; }
-  std::uint64_t time() const { return time_; }
+  std::uint64_t time() const { return stats_.time; }
+  const SimulationStats& stats() const { return stats_; }
   std::vector<State>& states() { return regs_; }
   const std::vector<State>& states() const { return regs_; }
   State& state(NodeId v) { return regs_[v]; }
 
-  /// One synchronous round.
+  /// One synchronous round: a single fused sweep that steps every node
+  /// into the back buffer and records accounting on the fresh states,
+  /// then swaps the buffers.
   void sync_round() {
-    scratch_ = regs_;
-    for (NodeId v = 0; v < g_->n(); ++v) {
-      NeighborReader<State> nbr(*g_, scratch_, v);
-      proto_->step(v, regs_[v], nbr, time_);
+    const NodeId n = g_->n();
+    const std::uint64_t stamp = stats_.time + 1;
+    if (rewrites_register_) {
+      // Zero-copy path: the protocol fully rewrites the back buffer.
+      for (NodeId v = 0; v < n; ++v) {
+        NeighborReader<State> nbr(*g_, regs_, v);
+        proto_->step_into(v, regs_[v], scratch_[v], nbr, stats_.time);
+        record_state(v, scratch_[v], stamp);
+      }
+    } else {
+      // Seeded path: one per-node seed copy into the back buffer, then
+      // the in-place step — still a single fused sweep and a single
+      // virtual dispatch per activation, with no bulk register-file copy.
+      for (NodeId v = 0; v < n; ++v) {
+        scratch_[v] = regs_[v];
+        NeighborReader<State> nbr(*g_, regs_, v);
+        proto_->step(v, scratch_[v], nbr, stats_.time);
+        record_state(v, scratch_[v], stamp);
+      }
     }
-    ++time_;
-    record_all();
+    regs_.swap(scratch_);
+    stats_.time = stamp;
+    ++stats_.rounds;
+    stats_.activations += n;
   }
 
   /// One asynchronous time unit (every node activated once, in-place).
   void async_unit(Rng& rng, DaemonOrder order = DaemonOrder::kRandom) {
-    order_.resize(g_->n());
+    const NodeId n = g_->n();
+    order_.resize(n);
     std::iota(order_.begin(), order_.end(), NodeId{0});
     switch (order) {
       case DaemonOrder::kRandom:
@@ -72,81 +122,97 @@ class Simulation {
     }
     for (NodeId v : order_) {
       NeighborReader<State> nbr(*g_, regs_, v);
-      proto_->step(v, regs_[v], nbr, time_);
-      record_one(v);
+      proto_->step(v, regs_[v], nbr, stats_.time);
     }
-    ++time_;
+    // Each node is activated exactly once per unit, so its post-activation
+    // state survives to the end of the unit and accounting can be batched
+    // into one pass (stamped with the unit's own time, as before).
+    record_pass(stats_.time);
+    ++stats_.time;
+    ++stats_.units;
+    stats_.activations += n;
   }
 
   /// Runs synchronous rounds until an alarm fires or `max_rounds` elapse.
   /// Returns the time of the first alarm, if any.
   std::optional<std::uint64_t> run_sync_until_alarm(std::uint64_t max_rounds) {
     for (std::uint64_t i = 0; i < max_rounds; ++i) {
-      if (first_alarm_time()) return first_alarm_time();
+      if (stats_.first_alarm) return stats_.first_alarm;
       sync_round();
     }
-    return first_alarm_time();
+    return stats_.first_alarm;
   }
 
   std::optional<std::uint64_t> run_async_until_alarm(
       std::uint64_t max_units, Rng& rng,
       DaemonOrder order = DaemonOrder::kRandom) {
     for (std::uint64_t i = 0; i < max_units; ++i) {
-      if (first_alarm_time()) return first_alarm_time();
+      if (stats_.first_alarm) return stats_.first_alarm;
       async_unit(rng, order);
     }
-    return first_alarm_time();
+    return stats_.first_alarm;
   }
 
-  /// Time of the earliest alarm seen so far, if any.
+  /// Time of the earliest alarm seen so far, if any. O(1).
   std::optional<std::uint64_t> first_alarm_time() const {
-    std::optional<std::uint64_t> best;
-    for (const auto& t : alarm_time_) {
-      if (t && (!best || *t < *best)) best = t;
-    }
-    return best;
+    return stats_.first_alarm;
   }
 
   /// Per-node time of first alarm (nullopt = never alarmed so far).
-  const std::vector<std::optional<std::uint64_t>>& alarm_times() const {
-    return alarm_time_;
-  }
-
-  std::vector<NodeId> alarmed_nodes() const {
-    std::vector<NodeId> out;
-    for (NodeId v = 0; v < g_->n(); ++v) {
-      if (alarm_time_[v]) out.push_back(v);
+  std::vector<std::optional<std::uint64_t>> alarm_times() const {
+    std::vector<std::optional<std::uint64_t>> out(alarm_time_.size());
+    for (std::size_t v = 0; v < alarm_time_.size(); ++v) {
+      if (alarm_time_[v] != kNever) out[v] = alarm_time_[v];
     }
     return out;
   }
 
-  /// Clears alarm history (e.g. after re-marking) without touching states.
+  std::vector<NodeId> alarmed_nodes() const {
+    std::vector<NodeId> out;
+    out.reserve(stats_.alarmed_nodes);
+    for (NodeId v = 0; v < g_->n(); ++v) {
+      if (alarm_time_[v] != kNever) out.push_back(v);
+    }
+    return out;
+  }
+
+  /// Clears alarm history (e.g. after re-marking) without touching states,
+  /// and starts a new latency epoch at the current time.
   void reset_alarm_history() {
-    std::fill(alarm_time_.begin(), alarm_time_.end(), std::nullopt);
+    std::fill(alarm_time_.begin(), alarm_time_.end(), kNever);
+    stats_.first_alarm.reset();
+    stats_.alarmed_nodes = 0;
+    stats_.epoch = stats_.time;
   }
 
   /// Running maximum of any node's register size, in bits.
-  std::size_t max_state_bits() const { return max_bits_; }
+  std::size_t max_state_bits() const { return stats_.peak_bits; }
 
  private:
-  void record_one(NodeId v) {
-    max_bits_ = std::max(max_bits_, proto_->state_bits(regs_[v], v));
-    if (!alarm_time_[v] && proto_->alarmed(regs_[v])) {
-      alarm_time_[v] = time_;
+  static constexpr std::uint64_t kNever =
+      std::numeric_limits<std::uint64_t>::max();
+
+  void record_state(NodeId v, const State& s, std::uint64_t stamp) {
+    const std::size_t b = proto_->state_bits(s, v);
+    if (b > stats_.peak_bits) stats_.peak_bits = b;
+    if (alarm_time_[v] == kNever && proto_->alarmed(s)) {
+      alarm_time_[v] = stamp;
+      ++stats_.alarmed_nodes;
+      if (!stats_.first_alarm) stats_.first_alarm = stamp;
     }
   }
-  void record_all() {
-    for (NodeId v = 0; v < g_->n(); ++v) record_one(v);
+  void record_pass(std::uint64_t stamp) {
+    for (NodeId v = 0; v < g_->n(); ++v) record_state(v, regs_[v], stamp);
   }
 
   const WeightedGraph* g_;
   Protocol<State>* proto_;
+  bool rewrites_register_ = false;
   std::vector<State> regs_;
   std::vector<State> scratch_;
   std::vector<NodeId> order_;
-  std::vector<std::optional<std::uint64_t>> alarm_time_;
-  std::uint64_t time_ = 0;
-  std::size_t max_bits_ = 0;
+  std::vector<std::uint64_t> alarm_time_;  ///< kNever = not alarmed
+  SimulationStats stats_;
 };
 
 }  // namespace ssmst

@@ -81,7 +81,10 @@ DetectionResult VerifierHarness::measure_detection(
   const std::uint64_t start = sim_->time();
   DetectionResult res;
   const auto first = run(max_units);
-  if (!first) return res;
+  if (!first) {
+    res.sim = sim_->stats();
+    return res;
+  }
   res.detected = true;
   res.detection_time = *first - start;
   for (std::uint64_t i = 0; i < slack; ++i) {
@@ -93,6 +96,7 @@ DetectionResult VerifierHarness::measure_detection(
   }
   res.alarming = sim_->alarmed_nodes();
   res.distance = detection_distance(sim_->graph(), faulty, res.alarming);
+  res.sim = sim_->stats();
   return res;
 }
 

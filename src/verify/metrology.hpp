@@ -14,6 +14,7 @@ struct DetectionResult {
   std::uint64_t detection_time = 0;  ///< units from injection to first alarm
   std::vector<NodeId> alarming;      ///< all nodes alarmed by that time + slack
   std::uint32_t distance = 0;        ///< detection distance (Section 2.4)
+  SimulationStats sim;               ///< engine accounting at measurement end
 };
 
 /// Drives one verifier instance end to end: mark, warm up, corrupt,

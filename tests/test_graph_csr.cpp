@@ -1,0 +1,169 @@
+// Property tests for the CSR adjacency substrate: every accessor of
+// WeightedGraph must agree with a naive edge-list oracle that assigns
+// ports in insertion order, on random graphs and on the degenerate
+// star/path families (star exercises the hub path of port_to, path the
+// low-degree linear-scan path).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace ssmst {
+namespace {
+
+/// Naive adjacency built directly from the canonical edge list with the
+/// same port rule (insertion order) the CSR builder must honour.
+struct Oracle {
+  std::vector<std::vector<HalfEdge>> adj;
+
+  explicit Oracle(NodeId n, const std::vector<Edge>& edges) : adj(n) {
+    for (std::uint32_t idx = 0; idx < edges.size(); ++idx) {
+      const Edge& e = edges[idx];
+      const auto port_u = static_cast<std::uint32_t>(adj[e.u].size());
+      const auto port_v = static_cast<std::uint32_t>(adj[e.v].size());
+      adj[e.u].push_back(HalfEdge{e.v, e.w, port_v, idx});
+      adj[e.v].push_back(HalfEdge{e.u, e.w, port_u, idx});
+    }
+  }
+};
+
+void expect_matches_oracle(const WeightedGraph& g) {
+  Oracle oracle(g.n(), g.edges());
+  std::uint32_t max_deg = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto& want = oracle.adj[v];
+    ASSERT_EQ(g.degree(v), want.size()) << "node " << v;
+    max_deg = std::max(max_deg, g.degree(v));
+    const auto got = g.neighbors(v);
+    ASSERT_EQ(got.size(), want.size()) << "node " << v;
+    for (std::uint32_t p = 0; p < want.size(); ++p) {
+      EXPECT_EQ(got[p].to, want[p].to) << "node " << v << " port " << p;
+      EXPECT_EQ(got[p].w, want[p].w) << "node " << v << " port " << p;
+      EXPECT_EQ(got[p].rev_port, want[p].rev_port)
+          << "node " << v << " port " << p;
+      EXPECT_EQ(got[p].edge_index, want[p].edge_index)
+          << "node " << v << " port " << p;
+      // half_edge(v, p) is the same element as neighbors(v)[p].
+      EXPECT_EQ(&g.half_edge(v, p), &got[p]);
+      // port_to agrees with the oracle's position of that neighbour.
+      EXPECT_EQ(g.port_to(v, want[p].to), p)
+          << "node " << v << " -> " << want[p].to;
+    }
+  }
+  EXPECT_EQ(g.max_degree(), max_deg);
+}
+
+void expect_port_to_rejects_non_edges(const WeightedGraph& g) {
+  // For every node, probing a few non-neighbours must return kNoPort.
+  for (NodeId v = 0; v < g.n(); ++v) {
+    std::vector<bool> is_nbr(g.n(), false);
+    for (const HalfEdge& he : g.neighbors(v)) is_nbr[he.to] = true;
+    std::uint32_t probes = 0;
+    for (NodeId u = 0; u < g.n() && probes < 8; ++u) {
+      if (u == v || is_nbr[u]) continue;
+      EXPECT_EQ(g.port_to(v, u), kNoPort) << v << " -> " << u;
+      ++probes;
+    }
+    EXPECT_EQ(g.port_to(v, v), kNoPort);
+  }
+}
+
+TEST(GraphCsr, RandomGraphsMatchOracle) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId n = static_cast<NodeId>(2 + rng.below(60));
+    const NodeId extra = static_cast<NodeId>(rng.below(2 * n));
+    const auto g = gen::random_connected(n, extra, rng);
+    expect_matches_oracle(g);
+    expect_port_to_rejects_non_edges(g);
+  }
+}
+
+TEST(GraphCsr, StandardSuiteMatchesOracle) {
+  for (const auto& named : gen::standard_suite(7)) {
+    SCOPED_TRACE(named.name);
+    expect_matches_oracle(named.graph);
+  }
+}
+
+TEST(GraphCsr, StarHubLookup) {
+  // Star: the centre's degree (n-1) is far above kHubDegree, so port_to
+  // at the centre exercises the sorted hub index; the leaves exercise the
+  // single-entry linear scan.
+  Rng rng(3);
+  const auto g = gen::star(64, rng);
+  ASSERT_GT(g.max_degree(), WeightedGraph::kHubDegree);
+  expect_matches_oracle(g);
+  expect_port_to_rejects_non_edges(g);
+}
+
+TEST(GraphCsr, PathDegenerateCase) {
+  Rng rng(4);
+  const auto g = gen::path(33, rng);
+  EXPECT_EQ(g.m(), 32u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  expect_matches_oracle(g);
+  expect_port_to_rejects_non_edges(g);
+}
+
+TEST(GraphCsr, TinyAndEmptyGraphs) {
+  const auto g0 = WeightedGraph::from_edges(0, {});
+  EXPECT_EQ(g0.n(), 0u);
+  EXPECT_EQ(g0.m(), 0u);
+  EXPECT_TRUE(g0.is_connected());
+
+  const auto g1 = WeightedGraph::from_edges(1, {});
+  EXPECT_EQ(g1.n(), 1u);
+  EXPECT_EQ(g1.degree(0), 0u);
+  EXPECT_TRUE(g1.neighbors(0).empty());
+
+  const auto g2 = WeightedGraph::from_edges(2, {{0, 1, 42}});
+  expect_matches_oracle(g2);
+  EXPECT_EQ(g2.port_to(0, 1), 0u);
+  EXPECT_EQ(g2.port_to(1, 0), 0u);
+}
+
+TEST(GraphCsr, RejectsMalformedEdgeLists) {
+  EXPECT_THROW(WeightedGraph::from_edges(2, {{0, 0, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(WeightedGraph::from_edges(2, {{0, 2, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(WeightedGraph::from_edges(3, {{0, 1, 1}, {1, 0, 2}}),
+               std::invalid_argument);
+}
+
+TEST(GraphCsr, NodeOfIdIndex) {
+  Rng rng(11);
+  const auto g = gen::random_connected(50, 30, rng);
+  std::map<std::uint64_t, NodeId> want;
+  std::uint64_t max_id = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    want[g.id(v)] = v;
+    max_id = std::max(max_id, g.id(v));
+  }
+  EXPECT_EQ(want.size(), g.n());  // ids are unique
+  for (const auto& [id, v] : want) {
+    EXPECT_EQ(g.node_of_id(id), v);
+  }
+  EXPECT_EQ(g.node_of_id(max_id + 1), kNoNode);
+}
+
+TEST(GraphCsr, SetIdsRebuildsIndex) {
+  Rng rng(12);
+  auto g = gen::cycle(10, rng);
+  std::vector<std::uint64_t> ids(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) ids[v] = 1000 + 7ull * v;
+  g.set_ids(ids);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(g.node_of_id(1000 + 7ull * v), v);
+  }
+  EXPECT_EQ(g.node_of_id(999), kNoNode);
+}
+
+}  // namespace
+}  // namespace ssmst

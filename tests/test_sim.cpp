@@ -99,6 +99,92 @@ TEST(Simulation, AlarmTimesRecorded) {
   EXPECT_FALSE(sim.first_alarm_time().has_value());
 }
 
+TEST(Simulation, StatsAccounting) {
+  Rng rng(10);
+  auto g = gen::cycle(6, rng);
+  FloodProtocol proto(g);
+  Simulation<FloodState> sim(g, proto, std::vector<FloodState>(g.n()));
+  EXPECT_EQ(sim.stats().rounds, 0u);
+  EXPECT_EQ(sim.stats().activations, 0u);
+  EXPECT_EQ(sim.stats().peak_bits, 64u);  // recorded at construction
+
+  for (int r = 0; r < 3; ++r) sim.sync_round();
+  Rng daemon(11);
+  for (int u = 0; u < 2; ++u) sim.async_unit(daemon);
+
+  const SimulationStats& s = sim.stats();
+  EXPECT_EQ(s.rounds, 3u);
+  EXPECT_EQ(s.units, 2u);
+  EXPECT_EQ(s.time, 5u);
+  EXPECT_EQ(s.activations, 5u * g.n());
+  EXPECT_EQ(sim.time(), s.time);
+}
+
+TEST(Simulation, StatsAlarmLatencyUsesEpoch) {
+  Rng rng(12);
+  auto g = gen::path(4, rng);
+  FloodProtocol proto(g);
+  Simulation<FloodState> sim(g, proto, std::vector<FloodState>(g.n()));
+  for (int r = 0; r < 5; ++r) sim.sync_round();
+  sim.reset_alarm_history();
+  EXPECT_EQ(sim.stats().epoch, 5u);
+  EXPECT_FALSE(sim.stats().alarm_latency().has_value());
+
+  sim.state(1).alarm = true;
+  sim.sync_round();
+  ASSERT_TRUE(sim.stats().first_alarm.has_value());
+  ASSERT_TRUE(sim.stats().alarm_latency().has_value());
+  EXPECT_EQ(*sim.stats().alarm_latency(), 1u);
+  EXPECT_EQ(sim.stats().alarmed_nodes, 1u);
+  // first_alarm_time() is the O(1) cached view of the same value.
+  EXPECT_EQ(sim.first_alarm_time(), sim.stats().first_alarm);
+}
+
+TEST(Simulation, SyncRoundMatchesZeroCopyPath) {
+  // The seeded default path and a rewrites_register() protocol must produce
+  // identical trajectories.
+  class ZcFlood final : public Protocol<FloodState> {
+   public:
+    void step(NodeId v, FloodState& self,
+              const NeighborReader<FloodState>& nbr,
+              std::uint64_t time) override {
+      step_into(v, self, self, nbr, time);
+    }
+    void step_into(NodeId, const FloodState& prev, FloodState& next,
+                   const NeighborReader<FloodState>& nbr,
+                   std::uint64_t) override {
+      std::uint64_t m = prev.value;
+      for (std::uint32_t p = 0; p < nbr.degree(); ++p) {
+        m = std::max(m, nbr.at_port(p).value);
+      }
+      next.value = m;
+      next.alarm = prev.alarm;
+    }
+    bool rewrites_register() const override { return true; }
+    std::size_t state_bits(const FloodState&, NodeId) const override {
+      return 64;
+    }
+  };
+
+  Rng rng(13);
+  auto g = gen::random_connected(24, 20, rng);
+  std::vector<FloodState> init(g.n());
+  init[5].value = 77;
+
+  FloodProtocol seeded(g);
+  ZcFlood zero_copy;
+  Simulation<FloodState> a(g, seeded, init);
+  Simulation<FloodState> b(g, zero_copy, init);
+  for (int r = 0; r < 6; ++r) {
+    a.sync_round();
+    b.sync_round();
+    for (NodeId v = 0; v < g.n(); ++v) {
+      ASSERT_EQ(a.state(v).value, b.state(v).value)
+          << "round " << r << " node " << v;
+    }
+  }
+}
+
 TEST(Faults, PickFaultNodesDistinct) {
   Rng rng(6);
   auto victims = pick_fault_nodes(20, 5, rng);
