@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include "core/ssmst.hpp"
+#include "sim/batch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ssmst {
 namespace {
@@ -138,6 +140,53 @@ void BM_SimSyncRoundZeroCopy(benchmark::State& state) {
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimSyncRoundZeroCopy)->Arg(1024);
+
+// Sharded sync rounds: the same engine sweep on a large graph, split into
+// contiguous CSR shards across a thread pool (bit-identical results; see
+// test_parallel_sim). Arg0 = nodes, Arg1 = threads; thread count 1 uses
+// the serial sweep and is the baseline the speedup is measured against.
+void BM_SimSyncRoundSharded(benchmark::State& state) {
+  const auto& g = test_graph(static_cast<NodeId>(state.range(0)));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  PulseProtocol proto;
+  ThreadPool pool(threads);  // declared first: must outlive the simulation
+  Simulation<PulseState> sim(g, proto, std::vector<PulseState>(g.n()));
+  if (threads > 1) sim.set_thread_pool(&pool);
+  for (auto _ : state) {
+    sim.sync_round();
+  }
+  state.SetItemsProcessed(state.iterations() * g.n());
+  state.counters["rounds/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimSyncRoundSharded)
+    ->Args({1 << 17, 1})
+    ->Args({1 << 17, 2})
+    ->Args({1 << 17, 4})
+    ->Args({1 << 17, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+// Batched sweep: many small independent sims fanned out over a
+// BatchRunner (the bench_detection_* layout). Arg0 = threads.
+void BM_BatchSweep(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const auto& g = test_graph(256);
+  BatchRunner runner(threads);
+  for (auto _ : state) {
+    auto out = runner.map<std::uint64_t>(
+        64, 7, [&](std::size_t i, Rng& rng) {
+          PulseProtocol proto;
+          std::vector<PulseState> init(g.n());
+          init[i % g.n()].pulse = rng.next() % 1000;
+          Simulation<PulseState> sim(g, proto, init);
+          for (int r = 0; r < 32; ++r) sim.sync_round();
+          return sim.state(0).seen_max;
+        });
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BatchSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_VerifierRound(benchmark::State& state) {
   const auto& g = test_graph(static_cast<NodeId>(state.range(0)));

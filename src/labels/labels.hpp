@@ -64,6 +64,8 @@ struct NodeLabels {
   std::vector<Piece> bot_perm;  ///< at most `pack`
 
   std::size_t string_length() const { return roots.size(); }
+
+  friend bool operator==(const NodeLabels&, const NodeLabels&) = default;
 };
 
 /// Semantic bit size of a label (ids, counters and pieces costed at their

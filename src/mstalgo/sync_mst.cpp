@@ -122,6 +122,7 @@ void SyncMstProtocol::step(NodeId v, SyncMstState& self,
         self.count_done = true;
         self.active = total <= cap;
         if (self.active) {
+          std::lock_guard<std::mutex> lk(trace_mu_);
           trace_.emplace_back(i, v, total);
         } else {
           self.level = static_cast<std::uint32_t>(i) + 1;

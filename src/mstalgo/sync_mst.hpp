@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <tuple>
 #include <vector>
 
@@ -54,6 +55,8 @@ struct SyncMstState {
   // Termination.
   bool spans_root = false;
   bool done = false;
+
+  friend bool operator==(const SyncMstState&, const SyncMstState&) = default;
 };
 
 /// Distributed SYNC_MST (Section 4): synchronous, O(n) rounds, O(log n)
@@ -73,6 +76,10 @@ class SyncMstProtocol final : public Protocol<SyncMstState> {
 
   /// Trace of (phase, root node, fragment size) for each fragment that
   /// became active — compared against the reference twin by tests.
+  /// Appends are mutex-guarded for parallel sync rounds; under a sharded
+  /// schedule the order *within* one round is unspecified (serial runs
+  /// keep the historical node-index order), and readers must not overlap
+  /// a round in flight.
   const std::vector<std::tuple<int, NodeId, std::uint32_t>>& active_trace()
       const {
     return trace_;
@@ -88,6 +95,7 @@ class SyncMstProtocol final : public Protocol<SyncMstState> {
 
   const WeightedGraph* g_;
   std::vector<std::tuple<int, NodeId, std::uint32_t>> trace_;
+  std::mutex trace_mu_;  ///< guards trace_ during parallel rounds
   int id_bits_;
   int weight_bits_;
 };

@@ -10,6 +10,7 @@
 #include "selfstab/reset.hpp"
 #include "selfstab/synchronizer.hpp"
 #include "util/bits.hpp"
+#include "util/thread_pool.hpp"
 #include "verify/verifier.hpp"
 
 namespace ssmst {
@@ -41,10 +42,20 @@ struct SelfStabilizingMst::Impl {
 
   std::size_t max_bits = 0;
   bool have_config = false;
+  std::unique_ptr<ThreadPool> pool;  ///< checker round sharding (opt.threads)
 
   Impl(const WeightedGraph& graph, TransformerOptions options)
       : g(graph), opt(options), rng(options.seed) {
     vcfg.sync_mode = opt.synchronous;
+  }
+
+  /// Lazily created on first install of a sim-backed checker: only the
+  /// synchronous scheduler shards rounds, and kRecompute runs no checker
+  /// sim at all, so eager creation would just park idle OS threads.
+  ThreadPool* round_pool() {
+    if (opt.threads <= 1 || !opt.synchronous) return nullptr;
+    if (!pool) pool = std::make_unique<ThreadPool>(opt.threads);
+    return pool.get();
   }
 
   void note_bits(std::size_t b) { max_bits = std::max(max_bits, b); }
@@ -73,11 +84,13 @@ struct SelfStabilizingMst::Impl {
         train_proto = std::make_unique<VerifierProtocol>(g, vcfg);
         train_sim = std::make_unique<VerifierSim>(
             g, *train_proto, train_proto->initial_states(marker));
+        train_sim->set_thread_pool(round_pool());
         break;
       case CheckerKind::kKkpVerifier:
         kkp_proto = std::make_unique<KkpVerifierProtocol>(g);
         kkp_sim = std::make_unique<Simulation<KkpState>>(
             g, *kkp_proto, kkp_proto->initial_states(marker));
+        kkp_sim->set_thread_pool(round_pool());
         break;
       case CheckerKind::kRecompute:
         recompute_ports = marker.parent_ports();

@@ -40,6 +40,10 @@ struct TransformerOptions {
   bool synchronous = true;     ///< async uses the fair daemon (+synchronizer)
   std::uint64_t seed = 1;      ///< daemon & corruption randomness
   std::uint64_t quiet_units = 64;  ///< post-stabilization closure window
+  /// Shards the checker's synchronous rounds across this many threads
+  /// (1 = serial). Results are bit-identical at any value; asynchronous
+  /// phases are unaffected.
+  unsigned threads = 1;
 };
 
 /// The enhanced Resynchronizer (Theorems 10.1-10.3) driven end to end:

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ssmst {
+
+/// Shared bench knob: thread count from argv[1] (floored at 1), defaulting
+/// to the hardware concurrency when absent.
+inline unsigned threads_from_argv(int argc, char** argv) {
+  if (argc <= 1) return ThreadPool::hardware_threads();
+  const int v = std::atoi(argv[1]);
+  return v < 1 ? 1u : static_cast<unsigned>(v);
+}
+
+/// Fans out many *independent* simulation jobs (one parameter-sweep cell
+/// each) across a thread pool, with deterministic per-job seeding and
+/// stable result ordering.
+///
+/// The detection benches run thousands of independent sims; this is the
+/// batching axis of the parallel engine (the other axis — sharding one
+/// big sim's sync rounds — lives in Simulation::set_thread_pool; do not
+/// point both at the same pool from inside a job).
+///
+/// Determinism contract: job i receives an Rng derived only from
+/// (sweep_seed, i), never from execution order or thread identity, and
+/// its result lands in slot i of the returned vector. Re-running the same
+/// sweep — at any thread count — therefore yields identical results,
+/// provided the job function itself is deterministic in (i, rng).
+class BatchRunner {
+ public:
+  explicit BatchRunner(unsigned threads = ThreadPool::hardware_threads())
+      : pool_(threads == 0 ? 1 : threads) {}
+
+  unsigned threads() const { return pool_.threads(); }
+  ThreadPool& pool() { return pool_; }
+
+  /// The per-job generator. Rng's constructor already whitens its seed
+  /// through splitmix64, so a golden-ratio stride over the job index is
+  /// enough for independent streams across jobs and nearby sweep seeds.
+  static Rng job_rng(std::uint64_t sweep_seed, std::size_t job) {
+    return Rng(sweep_seed + 0x9e3779b97f4a7c15ULL * (job + 1));
+  }
+
+  /// Runs job(i, rng) for i in [0, jobs) across the pool and returns the
+  /// results in job-index order. R must be movable.
+  template <typename R, typename Fn>
+  std::vector<R> map(std::size_t jobs, std::uint64_t sweep_seed, Fn&& job) {
+    std::vector<std::optional<R>> slots(jobs);
+    pool_.run(static_cast<std::uint32_t>(jobs), [&](std::uint32_t i) {
+      Rng rng = job_rng(sweep_seed, i);
+      slots[i].emplace(job(static_cast<std::size_t>(i), rng));
+    });
+    std::vector<R> out;
+    out.reserve(jobs);
+    for (std::optional<R>& s : slots) out.push_back(std::move(*s));
+    return out;
+  }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace ssmst

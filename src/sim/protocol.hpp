@@ -50,6 +50,20 @@ class NeighborReader {
 /// Protocols must be written so that `step` only reads the provided
 /// neighbour view and its own state — that is exactly the locality the
 /// model grants.
+///
+/// Thread-safety contract (parallel sync rounds): when a Simulation has a
+/// thread pool attached, `step`/`step_into` for *distinct* nodes of the
+/// same round run concurrently. The locality rule above is therefore also
+/// the concurrency rule — an activation must be pure with respect to every
+/// other node's register: it may read the (immutable, round-t) neighbour
+/// view and its own previous state, and write only its own next state. In
+/// addition it must not mutate protocol-object or global state without
+/// internal synchronization; out-of-band side channels (e.g. alarm or
+/// activity traces) must be guarded by a mutex and must tolerate
+/// unspecified append order within a round. `state_bits` and `alarmed`
+/// are called concurrently on freshly written states and must be safe as
+/// const calls. Protocols that follow the locality rule and keep `step`
+/// free of unsynchronized member writes satisfy the contract for free.
 template <typename State>
 class Protocol {
  public:

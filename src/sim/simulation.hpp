@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/protocol.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ssmst {
 
@@ -38,6 +39,9 @@ struct SimulationStats {
     if (!first_alarm) return std::nullopt;
     return *first_alarm - epoch;
   }
+
+  friend bool operator==(const SimulationStats&,
+                         const SimulationStats&) = default;
 };
 
 /// Executes a Protocol over a WeightedGraph under either scheduler and
@@ -54,6 +58,18 @@ struct SimulationStats {
 /// once, in daemon order, reading current (mixed) registers — the standard
 /// weakly fair central daemon; one unit is one "ideal time" unit.
 /// Accounting for the unit is batched into a single pass at its end.
+///
+/// Parallel synchronous rounds: after `set_thread_pool`, `sync_round`
+/// partitions the nodes into contiguous CSR ranges (one shard per pool
+/// lane, boundaries balanced by half-edge count), steps each shard into
+/// the back buffer concurrently, and reduces the per-shard accounting
+/// deltas at the barrier in shard-index order. Because every shard reads
+/// only the round-t front buffer and writes only its own slice of the back
+/// buffer, and because within one round every alarm carries the same
+/// stamp, the resulting registers *and* the full SimulationStats are
+/// bit-identical to the serial sweep at any thread count. Protocols driven
+/// this way must honour the thread-safety contract in protocol.hpp.
+/// `async_unit` is inherently sequential and ignores the pool.
 template <typename State>
 class Simulation {
  public:
@@ -69,6 +85,33 @@ class Simulation {
   }
 
   const WeightedGraph& graph() const { return *g_; }
+
+  /// Shards subsequent sync_rounds across `pool` (not owned; must outlive
+  /// the simulation or be detached with nullptr). nullptr restores the
+  /// serial sweep. Results are bit-identical either way.
+  void set_thread_pool(ThreadPool* pool) {
+    pool_ = pool;
+    shard_starts_.clear();
+    if (pool_ == nullptr || pool_->threads() <= 1) return;
+    // Contiguous shard boundaries balanced by half-edge count (+1 per node
+    // for the fixed per-activation cost), derived from the CSR degrees.
+    const NodeId n = g_->n();
+    const std::uint32_t shards =
+        std::min<std::uint32_t>(pool_->threads(), std::max<NodeId>(n, 1));
+    std::uint64_t total = n;
+    for (NodeId v = 0; v < n; ++v) total += g_->degree(v);
+    shard_starts_.reserve(shards + 1);
+    shard_starts_.push_back(0);
+    std::uint64_t acc = 0;
+    NodeId v = 0;
+    for (std::uint32_t s = 1; s < shards; ++s) {
+      const std::uint64_t target = total * s / shards;
+      while (v < n && acc < target) acc += 1 + g_->degree(v++);
+      shard_starts_.push_back(v);
+    }
+    shard_starts_.push_back(n);
+  }
+
   std::uint64_t time() const { return stats_.time; }
   const SimulationStats& stats() const { return stats_; }
   std::vector<State>& states() { return regs_; }
@@ -77,27 +120,28 @@ class Simulation {
 
   /// One synchronous round: a single fused sweep that steps every node
   /// into the back buffer and records accounting on the fresh states,
-  /// then swaps the buffers.
+  /// then swaps the buffers. With a thread pool attached, the sweep is
+  /// sharded (see the class comment); the result is bit-identical.
   void sync_round() {
     const NodeId n = g_->n();
     const std::uint64_t stamp = stats_.time + 1;
-    if (rewrites_register_) {
-      // Zero-copy path: the protocol fully rewrites the back buffer.
-      for (NodeId v = 0; v < n; ++v) {
-        NeighborReader<State> nbr(*g_, regs_, v);
-        proto_->step_into(v, regs_[v], scratch_[v], nbr, stats_.time);
-        record_state(v, scratch_[v], stamp);
-      }
+    if (shard_starts_.size() > 2) {
+      const auto shards =
+          static_cast<std::uint32_t>(shard_starts_.size() - 1);
+      shard_accs_.assign(shards, SweepAcc{});
+      pool_->run(shards, [this, stamp](std::uint32_t s) {
+        SweepAcc acc;
+        sweep_range(shard_starts_[s], shard_starts_[s + 1], stamp, acc);
+        shard_accs_[s] = acc;
+      });
+      // Deterministic reduction: fold the shard deltas in shard order.
+      // All alarms of one round share `stamp`, so the merged stats are
+      // independent of the shard layout.
+      for (const SweepAcc& acc : shard_accs_) fold(acc, stamp);
     } else {
-      // Seeded path: one per-node seed copy into the back buffer, then
-      // the in-place step — still a single fused sweep and a single
-      // virtual dispatch per activation, with no bulk register-file copy.
-      for (NodeId v = 0; v < n; ++v) {
-        scratch_[v] = regs_[v];
-        NeighborReader<State> nbr(*g_, regs_, v);
-        proto_->step(v, scratch_[v], nbr, stats_.time);
-        record_state(v, scratch_[v], stamp);
-      }
+      SweepAcc acc;
+      sweep_range(0, n, stamp, acc);
+      fold(acc, stamp);
     }
     regs_.swap(scratch_);
     stats_.time = stamp;
@@ -192,17 +236,63 @@ class Simulation {
   static constexpr std::uint64_t kNever =
       std::numeric_limits<std::uint64_t>::max();
 
-  void record_state(NodeId v, const State& s, std::uint64_t stamp) {
+  /// Accounting delta of one sweep over a node range. Kept local to the
+  /// sweeping thread and folded into `stats_` at the barrier, so the
+  /// parallel path writes no shared counters inside the sweep.
+  struct SweepAcc {
+    std::size_t peak_bits = 0;
+    std::uint64_t newly_alarmed = 0;
+  };
+
+  /// Steps nodes [lo, hi) of the current round into the back buffer and
+  /// accumulates their accounting into `acc`. Reads only the front buffer
+  /// (plus the disjoint alarm_time_ slots of its own range), so disjoint
+  /// ranges may sweep concurrently.
+  void sweep_range(NodeId lo, NodeId hi, std::uint64_t stamp, SweepAcc& acc) {
+    if (rewrites_register_) {
+      // Zero-copy path: the protocol fully rewrites the back buffer.
+      for (NodeId v = lo; v < hi; ++v) {
+        NeighborReader<State> nbr(*g_, regs_, v);
+        proto_->step_into(v, regs_[v], scratch_[v], nbr, stats_.time);
+        record_state(v, scratch_[v], stamp, acc);
+      }
+    } else {
+      // Seeded path: one per-node seed copy into the back buffer, then
+      // the in-place step — still a single fused sweep and a single
+      // virtual dispatch per activation, with no bulk register-file copy.
+      for (NodeId v = lo; v < hi; ++v) {
+        scratch_[v] = regs_[v];
+        NeighborReader<State> nbr(*g_, regs_, v);
+        proto_->step(v, scratch_[v], nbr, stats_.time);
+        record_state(v, scratch_[v], stamp, acc);
+      }
+    }
+  }
+
+  void record_state(NodeId v, const State& s, std::uint64_t stamp,
+                    SweepAcc& acc) {
     const std::size_t b = proto_->state_bits(s, v);
-    if (b > stats_.peak_bits) stats_.peak_bits = b;
+    if (b > acc.peak_bits) acc.peak_bits = b;
     if (alarm_time_[v] == kNever && proto_->alarmed(s)) {
       alarm_time_[v] = stamp;
-      ++stats_.alarmed_nodes;
+      ++acc.newly_alarmed;
+    }
+  }
+
+  void fold(const SweepAcc& acc, std::uint64_t stamp) {
+    if (acc.peak_bits > stats_.peak_bits) stats_.peak_bits = acc.peak_bits;
+    if (acc.newly_alarmed > 0) {
+      stats_.alarmed_nodes += acc.newly_alarmed;
       if (!stats_.first_alarm) stats_.first_alarm = stamp;
     }
   }
+
   void record_pass(std::uint64_t stamp) {
-    for (NodeId v = 0; v < g_->n(); ++v) record_state(v, regs_[v], stamp);
+    SweepAcc acc;
+    for (NodeId v = 0; v < g_->n(); ++v) {
+      record_state(v, regs_[v], stamp, acc);
+    }
+    fold(acc, stamp);
   }
 
   const WeightedGraph* g_;
@@ -213,6 +303,10 @@ class Simulation {
   std::vector<NodeId> order_;
   std::vector<std::uint64_t> alarm_time_;  ///< kNever = not alarmed
   SimulationStats stats_;
+
+  ThreadPool* pool_ = nullptr;          ///< not owned; nullptr = serial
+  std::vector<NodeId> shard_starts_;    ///< shards + 1 boundaries, or empty
+  std::vector<SweepAcc> shard_accs_;    ///< per-shard deltas of one round
 };
 
 }  // namespace ssmst

@@ -1,0 +1,106 @@
+#include "util/thread_pool.hpp"
+
+namespace ssmst {
+
+ThreadPool::ThreadPool(unsigned threads) : n_threads_(threads == 0 ? 1 : threads) {
+  workers_.reserve(n_threads_ - 1);
+  for (unsigned i = 0; i + 1 < n_threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run(std::uint32_t tasks,
+                     const std::function<void(std::uint32_t)>& fn) {
+  if (tasks == 0) return;
+  if (workers_.empty() || tasks == 1) {
+    // Same exception contract as the parallel path: complete the whole
+    // batch, then rethrow the first captured exception.
+    std::exception_ptr error;
+    for (std::uint32_t i = 0; i < tasks; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    total_ = tasks;
+    next_.store(0, std::memory_order_relaxed);
+    done_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  job_cv_.notify_all();
+  work(fn);  // the calling thread is one of the lanes
+  // Wait until every task finished *and* every woken worker has left the
+  // claim loop; only then may `fn` (a caller-owned temporary) be destroyed
+  // and a subsequent run() reuse the counters.
+  std::unique_lock<std::mutex> lk(mu_);
+  finished_cv_.wait(lk, [&] {
+    return done_.load(std::memory_order_acquire) == total_ &&
+           active_workers_ == 0;
+  });
+  job_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::work(const std::function<void(std::uint32_t)>& fn) {
+  for (;;) {
+    const std::uint32_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= total_) return;
+    try {
+      fn(i);
+    } catch (...) {
+      // Keep the barrier accounting intact: capture the exception for
+      // run() to rethrow and count the task as done.
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == total_) {
+      std::lock_guard<std::mutex> lk(mu_);
+      finished_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::uint32_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      job_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = job_;  // may already be null if the job completed without us
+      if (fn != nullptr) ++active_workers_;
+    }
+    if (fn == nullptr) continue;
+    work(*fn);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --active_workers_;
+    }
+    finished_cv_.notify_all();
+  }
+}
+
+}  // namespace ssmst

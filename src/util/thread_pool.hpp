@@ -1,0 +1,74 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ssmst {
+
+/// Minimal reusable fork-join pool.
+///
+/// One persistent worker thread per extra lane; the calling thread always
+/// participates, so `ThreadPool(1)` spawns no threads at all and `run`
+/// degenerates to a plain loop. `run(tasks, fn)` invokes `fn(i)` for every
+/// i in [0, tasks), with tasks claimed dynamically from a shared counter,
+/// and returns only when every invocation has finished — a full barrier.
+///
+/// The pool is reused across calls (workers park on a condition variable
+/// between jobs), which is what makes it cheap enough to drive one
+/// simulation round per `run`. It is *not* re-entrant: only one `run` may
+/// be in flight at a time, and `fn` must not call back into the same pool.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller is the remaining lane).
+  /// `threads == 0` is treated as 1.
+  explicit ThreadPool(unsigned threads = hardware_threads());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of lanes (workers + the calling thread).
+  unsigned threads() const { return n_threads_; }
+
+  /// Runs fn(0), ..., fn(tasks - 1) across the pool and blocks until all
+  /// invocations returned. Invocations of `fn` for distinct indices may
+  /// run concurrently; `fn` must be safe under that.
+  ///
+  /// If invocations throw, the barrier still completes (remaining tasks
+  /// run) and one of the captured exceptions — scheduling-dependent when
+  /// there are several — is rethrown from run() on the calling thread.
+  void run(std::uint32_t tasks, const std::function<void(std::uint32_t)>& fn);
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static unsigned hardware_threads() {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : hc;
+  }
+
+ private:
+  void worker_loop();
+  void work(const std::function<void(std::uint32_t)>& fn);
+
+  unsigned n_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;       ///< workers wait for a new job
+  std::condition_variable finished_cv_;  ///< run() waits for completion
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;  ///< bumped once per run()
+  const std::function<void(std::uint32_t)>* job_ = nullptr;
+  std::uint32_t total_ = 0;           ///< tasks in the current job
+  unsigned active_workers_ = 0;       ///< workers inside the claim loop
+  std::atomic<std::uint32_t> next_{0};  ///< next unclaimed task index
+  std::atomic<std::uint32_t> done_{0};  ///< finished task count
+  std::exception_ptr error_;            ///< first captured task exception
+};
+
+}  // namespace ssmst

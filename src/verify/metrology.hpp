@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "sim/faults.hpp"
+#include "util/thread_pool.hpp"
 #include "verify/verifier.hpp"
 
 namespace ssmst {
@@ -37,6 +38,13 @@ class VerifierHarness {
   VerifierProtocol& protocol() { return *proto_; }
   VerifierSim& sim() { return *sim_; }
 
+  /// Shards synchronous rounds across `threads` (1 = serial, the default).
+  /// Bit-identical results at any value; async mode is unaffected. Each
+  /// harness owns its pool, so combining with an outer BatchRunner fan-out
+  /// is safe but multiplies live lanes — keep batch-width x threads near
+  /// the core count (bench_table1 splits its lanes that way).
+  void set_threads(unsigned threads);
+
   /// Runs `units` time units; returns the first alarm time, if any.
   std::optional<std::uint64_t> run(std::uint64_t units);
 
@@ -66,6 +74,7 @@ class VerifierHarness {
   MarkerOutput marker_;
   std::unique_ptr<VerifierProtocol> proto_;
   std::unique_ptr<VerifierSim> sim_;
+  std::unique_ptr<ThreadPool> pool_;  ///< owned; attached to sim_ when > 1
   Rng daemon_;
 };
 

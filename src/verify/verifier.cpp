@@ -48,6 +48,7 @@ void VerifierProtocol::raise(NodeId v, VerifierState& self,
                              AlarmReason reason, std::string detail) {
   if (self.alarm != AlarmReason::kNone) return;
   self.alarm = reason;
+  std::lock_guard<std::mutex> lk(trace_mu_);
   trace_.push_back({v, reason, std::move(detail)});
 }
 
@@ -88,6 +89,18 @@ void VerifierProtocol::step(NodeId v, VerifierState& self,
   run_show(v, self, nbr);
   if (self.alarm != AlarmReason::kNone) return;
   run_ask(v, self, nbr);
+}
+
+void VerifierProtocol::step_into(NodeId v, const VerifierState& prev,
+                                 VerifierState& next,
+                                 const NeighborReader<VerifierState>& nbr,
+                                 std::uint64_t time) {
+  // Seed the back buffer from the round-t snapshot, then run the in-place
+  // step on it. The label vectors of `next` (the register from two rounds
+  // ago) already have the right capacity, so this assignment allocates
+  // nothing in steady state, and the stale value is never read.
+  next = prev;
+  step(v, next, nbr, time);
 }
 
 void VerifierProtocol::run_trains(NodeId v, VerifierState& self,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -55,6 +56,8 @@ struct TrainRt {
   std::uint64_t prev_root_id = 0;
   std::uint32_t pieces_since_wrap = 0;
   std::uint32_t stall_timer = 0;  ///< activations since bc_seq last changed
+
+  friend bool operator==(const TrainRt&, const TrainRt&) = default;
 };
 
 /// The per-level Show window (Section 7.2): presents, in cyclic level
@@ -68,6 +71,8 @@ struct ShowRt {
   bool watching = false;  ///< absence-evidence window is armed
   std::uint32_t dwell = 0;  ///< activations since filled
   std::uint32_t hold = 0;   ///< activations spent holding for wanters
+
+  friend bool operator==(const ShowRt&, const ShowRt&) = default;
 };
 
 /// The Ask comparison driver (Section 7.2): holds the node's own piece for
@@ -81,6 +86,8 @@ struct AskRt {
   std::uint32_t window = 0;     ///< sync mode: rounds left in the window
   std::uint32_t scan_port = 0;  ///< async mode: neighbour being served
   std::uint32_t cycle_timer = 0;  ///< activations since last full cycle
+
+  friend bool operator==(const AskRt&, const AskRt&) = default;
 };
 
 /// Client request register (asynchronous comparison, Section 7.2.2).
@@ -88,6 +95,8 @@ struct WantRt {
   bool active = false;
   std::uint32_t port = 0;   ///< the node's own port toward the server
   std::uint32_t level = 0;  ///< requested level
+
+  friend bool operator==(const WantRt&, const WantRt&) = default;
 };
 
 /// The complete public register of a verifier node: the component, the
@@ -101,6 +110,10 @@ struct VerifierState {
   AskRt ask;
   WantRt want;
   AlarmReason alarm = AlarmReason::kNone;
+
+  /// Bit-exact register equality; the schedule-equivalence tests rely on
+  /// it to pin the parallel engine to the serial one.
+  friend bool operator==(const VerifierState&, const VerifierState&) = default;
 };
 
 /// Tuning knobs; defaults are calibrated by the test-suite so that correct
@@ -127,6 +140,17 @@ class VerifierProtocol final : public Protocol<VerifierState> {
   void step(NodeId v, VerifierState& self,
             const NeighborReader<VerifierState>& nbr,
             std::uint64_t time) override;
+
+  /// Zero-copy sync hook: the verifier touches most of its register every
+  /// round, so the round-(t+1) state is produced directly in the back
+  /// buffer (seed from `prev`, then the in-place step). `next`'s label
+  /// vectors keep their capacity across rounds, so steady-state rounds
+  /// allocate nothing. Behaviour is pinned to `step` by tests.
+  void step_into(NodeId v, const VerifierState& prev, VerifierState& next,
+                 const NeighborReader<VerifierState>& nbr,
+                 std::uint64_t time) override;
+  bool rewrites_register() const override { return true; }
+
   std::size_t state_bits(const VerifierState& s, NodeId v) const override;
   bool alarmed(const VerifierState& s) const override {
     return s.alarm != AlarmReason::kNone;
@@ -140,14 +164,20 @@ class VerifierProtocol final : public Protocol<VerifierState> {
   const VerifierConfig& config() const { return cfg_; }
 
   /// Out-of-band trace of (node, reason, description) for the first alarm
-  /// at each node; consumed by tests.
+  /// at each node; consumed by tests. Appends are mutex-guarded so steps
+  /// may run concurrently (parallel sync rounds); within one parallel
+  /// round the append *order* is unspecified, and readers must not overlap
+  /// a round in flight.
   struct AlarmEvent {
     NodeId node;
     AlarmReason reason;
     std::string detail;
   };
   const std::vector<AlarmEvent>& alarm_trace() const { return trace_; }
-  void clear_trace() { trace_.clear(); }
+  void clear_trace() {
+    std::lock_guard<std::mutex> lk(trace_mu_);
+    trace_.clear();
+  }
 
  private:
   struct Ctx;  // per-step derived values
@@ -177,6 +207,7 @@ class VerifierProtocol final : public Protocol<VerifierState> {
   const WeightedGraph* g_;
   VerifierConfig cfg_;
   mutable std::vector<AlarmEvent> trace_;
+  mutable std::mutex trace_mu_;  ///< guards trace_ during parallel rounds
   Weight max_weight_ = 0;
 
   std::uint32_t scale(const VerifierState& s, std::uint32_t factor) const;

@@ -185,6 +185,112 @@ TEST(Simulation, SyncRoundMatchesZeroCopyPath) {
   }
 }
 
+TEST(Simulation, AsyncRoundRobinActivatesInAscendingIndexOrder) {
+  // In-place ascending activation: a value seeded at node 0 of a path
+  // flushes the whole way forward within a single unit, while a value at
+  // the far end moves only one hop per unit.
+  Rng rng(20);
+  auto g = gen::path(6, rng);
+  FloodProtocol proto(g);
+  {
+    std::vector<FloodState> init(g.n());
+    init[0].value = 99;
+    Simulation<FloodState> sim(g, proto, init);
+    Rng daemon(21);
+    sim.async_unit(daemon, DaemonOrder::kRoundRobin);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      EXPECT_EQ(sim.state(v).value, 99u) << "node " << v;
+    }
+  }
+  {
+    std::vector<FloodState> init(g.n());
+    init[5].value = 7;
+    Simulation<FloodState> sim(g, proto, init);
+    Rng daemon(22);
+    sim.async_unit(daemon, DaemonOrder::kRoundRobin);
+    EXPECT_EQ(sim.state(4).value, 7u);   // node 4 read node 5's register
+    EXPECT_EQ(sim.state(3).value, 0u);   // node 3 ran before node 4 changed
+  }
+}
+
+TEST(Simulation, AsyncReverseActivatesInDescendingIndexOrder) {
+  // The mirror image: kReverse flushes values backward in one unit and
+  // advances forward values only one hop — the adversarial-flavoured
+  // schedule the enum documents.
+  Rng rng(23);
+  auto g = gen::path(6, rng);
+  FloodProtocol proto(g);
+  {
+    std::vector<FloodState> init(g.n());
+    init[5].value = 99;
+    Simulation<FloodState> sim(g, proto, init);
+    Rng daemon(24);
+    sim.async_unit(daemon, DaemonOrder::kReverse);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      EXPECT_EQ(sim.state(v).value, 99u) << "node " << v;
+    }
+  }
+  {
+    std::vector<FloodState> init(g.n());
+    init[0].value = 7;
+    Simulation<FloodState> sim(g, proto, init);
+    Rng daemon(25);
+    sim.async_unit(daemon, DaemonOrder::kReverse);
+    EXPECT_EQ(sim.state(1).value, 7u);   // node 1 read node 0's register
+    EXPECT_EQ(sim.state(2).value, 0u);   // node 2 ran before node 1 changed
+  }
+}
+
+TEST(Simulation, FixedDaemonOrdersIgnoreRngAndKeepAccounting) {
+  // kRoundRobin/kReverse are deterministic schedules: two sims driven by
+  // different daemon seeds must agree state-for-state, and unit/activation
+  // accounting must match the documented semantics exactly.
+  Rng rng(26);
+  auto g = gen::random_connected(14, 10, rng);
+  FloodProtocol pa(g), pb(g);
+  std::vector<FloodState> init(g.n());
+  init[3].value = 42;
+  for (DaemonOrder order : {DaemonOrder::kRoundRobin, DaemonOrder::kReverse}) {
+    Simulation<FloodState> a(g, pa, init);
+    Simulation<FloodState> b(g, pb, init);
+    Rng da(1), db(0xdeadbeef);
+    for (int u = 0; u < 4; ++u) {
+      a.async_unit(da, order);
+      b.async_unit(db, order);
+    }
+    for (NodeId v = 0; v < g.n(); ++v) {
+      EXPECT_EQ(a.state(v).value, b.state(v).value) << "node " << v;
+    }
+    EXPECT_EQ(a.stats().units, 4u);
+    EXPECT_EQ(a.stats().rounds, 0u);
+    EXPECT_EQ(a.stats().time, 4u);
+    EXPECT_EQ(a.stats().activations, 4u * g.n());
+    EXPECT_TRUE(a.stats() == b.stats());
+  }
+}
+
+TEST(Simulation, AsyncAlarmStampUsesTheUnitsOwnTime) {
+  // Accounting of one unit is batched at its end and stamped with the
+  // unit's own time (the value before the unit's ++time), under every
+  // daemon order.
+  Rng rng(27);
+  for (DaemonOrder order : {DaemonOrder::kRoundRobin, DaemonOrder::kReverse,
+                            DaemonOrder::kRandom}) {
+    auto g = gen::path(5, rng);
+    FloodProtocol proto(g);
+    Simulation<FloodState> sim(g, proto, std::vector<FloodState>(g.n()));
+    Rng daemon(3);
+    for (int u = 0; u < 3; ++u) sim.async_unit(daemon, order);
+    sim.state(2).alarm = true;
+    sim.async_unit(daemon, order);
+    ASSERT_TRUE(sim.stats().first_alarm.has_value());
+    EXPECT_EQ(*sim.stats().first_alarm, 3u);
+    EXPECT_EQ(sim.stats().alarmed_nodes, 1u);
+    EXPECT_EQ(sim.alarmed_nodes(), std::vector<NodeId>{2});
+    EXPECT_EQ(sim.time(), 4u);
+  }
+}
+
 TEST(Faults, PickFaultNodesDistinct) {
   Rng rng(6);
   auto victims = pick_fault_nodes(20, 5, rng);
