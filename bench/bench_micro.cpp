@@ -6,8 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "core/ssmst.hpp"
 #include "sim/batch.hpp"
+#include "util/bench_io.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ssmst {
@@ -203,4 +208,58 @@ BENCHMARK(BM_VerifierRound)->Arg(256)->Arg(1024);
 }  // namespace
 }  // namespace ssmst
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console output as usual, plus an optional machine-readable record of
+/// every run (items/s when reported, ns/iter otherwise) appended to the
+/// flat JSON file shared by the bench drivers (BENCH_PR3.json).
+class JsonAppendReporter final : public benchmark::ConsoleReporter {
+ public:
+  // Plain tabular output (no ANSI color): the records are also consumed by
+  // scripts and CI logs.
+  JsonAppendReporter() : benchmark::ConsoleReporter(OO_Tabular) {}
+
+  ssmst::BenchJson json;
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& r : reports) {
+      const std::string name = r.benchmark_name();
+      const auto it = r.counters.find("items_per_second");
+      if (it != r.counters.end()) {
+        json.record(name, "items_per_s", it->second);
+      }
+      if (r.iterations > 0) {
+        json.record(name, "real_ns_per_iter",
+                    r.real_accumulated_time / double(r.iterations) * 1e9);
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--json=", 0) == 0) {
+      json_path = argv[i] + 7;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bargc = static_cast<int>(args.size());
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
+  JsonAppendReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.json.record("bench_micro", "peak_rss_bytes",
+                       double(ssmst::peak_rss_bytes()));
+  if (!reporter.json.flush(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -21,6 +21,7 @@
 
 #include "core/ssmst.hpp"
 #include "sim/batch.hpp"
+#include "util/bench_io.hpp"
 #include "util/bits.hpp"
 #include "util/table.hpp"
 
@@ -59,6 +60,11 @@ struct Row {
 
 int main(int argc, char** argv) {
   const unsigned threads = threads_from_argv(argc, argv);
+  // 2^26 ceiling: the scale loop below would otherwise wrap NodeId.
+  const std::uint64_t max_n = std::min<std::uint64_t>(
+      arg_u64(argc, argv, "--max-n", 1u << 20), 1u << 26);
+  const std::string json_path = arg_value(argc, argv, "--json");
+  BenchJson json;
   std::puts("== Table 1: self-stabilizing MST construction comparison ==");
   std::printf("batch threads: %u\n", threads);
   std::puts("paper rows (theory): [48],[18]: O(log n) bits, Omega(|E|n) time;");
@@ -80,7 +86,8 @@ int main(int argc, char** argv) {
     Rng rng(7);
     auto g = gen::random_connected(n, n, rng);
     Table t({"algorithm", "space bits/node", "bits/log n",
-             "stabilize time", "time/n", "detect time (1 fault)"});
+             "stabilize time", "time/n", "detect time (1 fault)",
+             "peak RSS MB"});
     auto rows = runner.map<Row>(
         3, /*sweep_seed=*/n, [&](std::size_t i, Rng&) {
           Row row;
@@ -96,16 +103,75 @@ int main(int argc, char** argv) {
         });
     for (const Row& row : rows) {
       const double logn = ceil_log2(n) + 1;
+      const double rss_mb = double(peak_rss_bytes()) / (1024.0 * 1024.0);
       t.add_row({to_string(row.kind), Table::num(row.rep.max_state_bits),
                  Table::num(row.rep.max_state_bits / logn, 1),
                  Table::num(row.rep.total_time),
                  Table::num(static_cast<double>(row.rep.total_time) / n, 2),
-                 Table::num(row.detect)});
+                 Table::num(row.detect), Table::num(rss_mb, 0)});
       if (!row.rep.stabilized) std::puts("WARNING: did not stabilize!");
+      json.record("table1/" + std::string(to_string(row.kind)) + "/" +
+                      std::to_string(n),
+                  "space_bits_per_node", double(row.rep.max_state_bits));
     }
     std::printf("n = %u, m = %zu\n", n, g.m());
     t.print();
     std::puts("");
+  }
+  std::puts("(peak RSS is process-wide and monotone across rows)");
+
+  // --- Scale section: this paper's checker at large n ----------------------
+  // The full transformer stabilization is Omega(n) simulated rounds of
+  // Omega(n) work each — infeasible at 2^20 on one core — so the scale
+  // rows measure what Table 1 actually compares at scale: per-node space
+  // of the two label schemes (ours vs the KKP O(log^2 n) baseline, both
+  // measured from real marked instances), verifier round throughput, and
+  // detection of a label fault (1-round check), plus the peak RSS.
+  if (max_n >= (1u << 14)) {
+    std::printf("\n== scale: marked-instance space & detection to n=%llu ==\n",
+                static_cast<unsigned long long>(max_n));
+    Table st({"n", "state bits/node (this paper)", "kkp label bits/node",
+              "bits/log n", "Mitems/s", "detect rounds (label fault)",
+              "peak RSS MB"});
+    for (std::uint64_t nn = 1u << 14; nn <= max_n; nn *= 8) {
+      const auto n = static_cast<NodeId>(nn);
+      Rng rng(7);
+      auto g = gen::random_connected(n, n, rng);
+      VerifierConfig cfg;
+      VerifierHarness h(g, cfg, 5);
+      Weight maxw = 0;
+      for (const Edge& e : g.edges()) maxw = std::max(maxw, e.w);
+      std::size_t kkp_max = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        kkp_max = std::max(kkp_max, kkp_label_bits(h.marker().kkp_labels[v],
+                                                   n, maxw, g.degree(v)));
+      }
+      const ScaleProbeResult probe = run_scale_probe(h);
+      if (!probe.ok) {
+        std::printf("%s at n=%u\n", probe.error, n);
+        json.flush(json_path);  // keep the records gathered so far
+        return 1;
+      }
+      const double logn = ceil_log2(n) + 1;
+      const double rss_mb = double(peak_rss_bytes()) / (1024.0 * 1024.0);
+      st.add_row({Table::num(std::uint64_t{n}),
+                  Table::num(probe.peak_state_bits),
+                  Table::num(kkp_max),
+                  Table::num(double(probe.peak_state_bits) / logn, 1),
+                  Table::num(probe.items_per_s / 1e6, 2),
+                  Table::num(probe.detect_rounds), Table::num(rss_mb, 0)});
+      const std::string key = "table1/scale/" + std::to_string(n);
+      json.record(key, "items_per_s", probe.items_per_s);
+      json.record(key, "peak_rss_bytes", double(peak_rss_bytes()));
+      json.record(key, "space_bits_per_node", double(probe.peak_state_bits));
+      json.record(key, "kkp_bits_per_node", double(kkp_max));
+    }
+    st.print();
+  }
+
+  if (!json.flush(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
   }
   return 0;
 }

@@ -2,12 +2,27 @@
 
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "partition/partitions.hpp"
+#include "util/inline_vec.hpp"
 
 namespace ssmst {
+
+/// Capacity of the per-level hierarchy strings. Their live length is
+/// ell + 1 <= ceil(log2 n) + 2 (condition RS1), which for 32-bit node
+/// indices is at most 34 — the two spare slots are headroom, not payload.
+/// `label_bits`/`state_bits` cost only the live prefix, so the semantic
+/// O(log n)-bit accounting is unchanged by the inline capacity.
+inline constexpr std::uint32_t kLabelLevelCap = 36;
+
+/// Capacity of the permanent-piece packs. The paper's scheme stores
+/// pack = 2 pieces per node; the Section 1.3 memory-for-time extension is
+/// exercised up to pack = 8 by the ablation suite. The marker clamps
+/// larger requests to this bound.
+inline constexpr std::uint32_t kLabelPackCap = 8;
 
 /// Entry of the Roots string (Section 5.2).
 enum class RootsEntry : std::uint8_t {
@@ -27,6 +42,11 @@ enum class EndpEntry : std::uint8_t {
 /// The complete marker output for one node: all proof labels of the
 /// scheme, O(log n) bits in total. A register holding these labels is
 /// corruptible by the adversary like any other state.
+///
+/// Storage is flat: the hierarchy strings and permanent-piece packs are
+/// fixed-capacity inline vectors, so the whole struct is one contiguous,
+/// trivially-copyable block — no per-node heap allocations, and a sweep
+/// over a label (or register) array walks memory linearly.
 struct NodeLabels {
   // --- Example SP (spanning tree) + the identity remark -------------------
   std::uint64_t sp_root_id = 0;  ///< claimed identity of T's root
@@ -39,13 +59,13 @@ struct NodeLabels {
   std::uint32_t subtree_count = 0;  ///< nodes in my T-subtree
 
   // --- Hierarchy strings (Sections 5.2-5.3), all of length ell+1 ----------
-  std::vector<RootsEntry> roots;
-  std::vector<EndpEntry> endp;
-  std::vector<std::uint8_t> parents;   ///< 0/1 per level
+  InlineVec<RootsEntry, kLabelLevelCap> roots;
+  InlineVec<EndpEntry, kLabelLevelCap> endp;
+  InlineVec<std::uint8_t, kLabelLevelCap> parents;  ///< 0/1 per level
   /// EPS1 counting sub-scheme (the Or-EndP aggregation of Table 2): number
   /// of candidate-endpoint nodes in my fragment-subtree per level, capped
   /// at 2 ("more than one" is already a violation).
-  std::vector<std::uint8_t> endp_cnt;
+  InlineVec<std::uint8_t, kLabelLevelCap> endp_cnt;
 
   // --- Partitions (Section 6) ----------------------------------------------
   std::uint64_t top_part_root_id = 0;
@@ -60,13 +80,18 @@ struct NodeLabels {
   std::uint32_t pack = 2;
 
   // --- Permanent train pieces (Section 6.2, pair Pc(dfs index)) -----------
-  std::vector<Piece> top_perm;  ///< at most `pack`
-  std::vector<Piece> bot_perm;  ///< at most `pack`
+  InlineVec<Piece, kLabelPackCap> top_perm;  ///< at most `pack`
+  InlineVec<Piece, kLabelPackCap> bot_perm;  ///< at most `pack`
 
   std::size_t string_length() const { return roots.size(); }
 
   friend bool operator==(const NodeLabels&, const NodeLabels&) = default;
 };
+
+// The flat-register contract: a label block is a single trivially-copyable
+// span of memory. Register files built from it copy by memcpy and never
+// touch the allocator in steady state.
+static_assert(std::is_trivially_copyable_v<NodeLabels>);
 
 /// Semantic bit size of a label (ids, counters and pieces costed at their
 /// natural widths given n and the maximum weight).
@@ -75,7 +100,9 @@ std::size_t label_bits(const NodeLabels& l, NodeId n, Weight max_weight,
 
 /// Labels of the KKP O(log^2 n)-bit 1-round scheme ([54,55], recalled in
 /// Section 3.1): the base labels plus the *full* table of pieces I(F_j(v))
-/// for every level — the memory the present paper's scheme avoids.
+/// for every level — the memory the present paper's scheme avoids. The
+/// piece table deliberately stays heap-backed: it is the memory-heavy
+/// baseline being compared against, not a hot-path register.
 struct KkpLabels {
   NodeLabels base;
   std::vector<std::optional<Piece>> pieces;  ///< indexed by level

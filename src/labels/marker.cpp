@@ -18,6 +18,9 @@ namespace {
 
 MarkerOutput assemble(const WeightedGraph& g, ReferenceResult ref,
                       std::uint32_t pack) {
+  // The flat label layout stores the packs inline; larger requests would
+  // not fit a register and are clamped to the supported maximum.
+  pack = std::min(pack, kLabelPackCap);
   MarkerOutput out;
   out.tree = std::move(ref.tree);
   out.hierarchy = std::move(ref.hierarchy);
@@ -79,8 +82,10 @@ MarkerOutput assemble(const WeightedGraph& g, ReferenceResult ref,
     l.bot_part_depth = t.depth(v) - t.depth(bpart.root);
     l.delim = parts.delim[v];
     l.pack = parts.pack;
-    l.top_perm = parts.perm_top_pieces(v);
-    l.bot_perm = parts.perm_bot_pieces(v);
+    const auto tp = parts.perm_top_pieces(v);
+    const auto bp = parts.perm_bot_pieces(v);
+    l.top_perm.assign(tp.begin(), tp.end());
+    l.bot_perm.assign(bp.begin(), bp.end());
   }
 
   // EPS1 counting sub-scheme: per fragment, aggregate the number of

@@ -1,7 +1,5 @@
 #include "labels/verify1.hpp"
 
-#include <sstream>
-
 #include "util/bits.hpp"
 
 namespace ssmst {
@@ -22,7 +20,6 @@ std::string verify_labels_1round(const WeightedGraph& g, NodeId v,
                                  const NodeLabels& own,
                                  std::uint32_t own_parent_port,
                                  const LabelReader& nbr) {
-  std::ostringstream err;
   const std::uint32_t deg = g.degree(v);
   const bool is_root = own_parent_port == kNoPort;
   const std::size_t len = own.string_length();

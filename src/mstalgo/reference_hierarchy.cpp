@@ -24,20 +24,6 @@ struct Forest {
 
   explicit Forest(NodeId n) : parent(n, kNoNode) {}
 
-  NodeId root_of(NodeId v) const {
-    while (parent[v] != kNoNode) v = parent[v];
-    return v;
-  }
-
-  /// Members of the fragment rooted at r (O(n); the twin is analysis code).
-  std::vector<NodeId> members(NodeId r) const {
-    std::vector<NodeId> out;
-    for (NodeId v = 0; v < parent.size(); ++v) {
-      if (root_of(v) == r) out.push_back(v);
-    }
-    return out;
-  }
-
   /// Reverses parent pointers along the path from the current root to w,
   /// making w the fragment's root (the paper's "change-root" transfer).
   void reroot_at(NodeId w) {
@@ -99,11 +85,29 @@ ReferenceResult build_hierarchy_impl(const WeightedGraph& g,
     }
     const std::uint64_t cap = (2ULL << phase) - 1;  // 2^(phase+1) - 1
 
-    // 1. Identify roots and their fragments; decide activity by size.
-    std::vector<NodeId> roots;
-    for (NodeId v = 0; v < n; ++v) {
-      if (forest.parent[v] == kNoNode) roots.push_back(v);
+    // 1. Resolve every node's current root once — a memoized walk up the
+    //    parent pointers, O(n) amortized for the whole phase instead of a
+    //    chain walk per (root, node) pair — then decide activity by size
+    //    and group the members of active fragments in node-index order.
+    std::vector<NodeId> root_now(n, kNoNode);
+    {
+      std::vector<NodeId> chain;
+      for (NodeId v = 0; v < n; ++v) {
+        if (root_now[v] != kNoNode) continue;
+        NodeId cur = v;
+        chain.clear();
+        while (root_now[cur] == kNoNode && forest.parent[cur] != kNoNode) {
+          chain.push_back(cur);
+          cur = forest.parent[cur];
+        }
+        const NodeId r = root_now[cur] == kNoNode ? cur : root_now[cur];
+        root_now[cur] = r;
+        for (NodeId u : chain) root_now[u] = r;
+      }
     }
+    std::vector<std::uint64_t> size_of(n, 0);
+    for (NodeId v = 0; v < n; ++v) ++size_of[root_now[v]];
+
     struct Active {
       NodeId root;
       std::vector<NodeId> members;
@@ -112,12 +116,19 @@ ReferenceResult build_hierarchy_impl(const WeightedGraph& g,
     };
     std::vector<Active> active;
     std::vector<std::uint32_t> frag_of(n, kNoFragment);  // active frag idx
-    for (NodeId r : roots) {
-      auto mem = forest.members(r);
-      if (mem.size() > cap) continue;  // inactive this phase
-      const auto idx = static_cast<std::uint32_t>(active.size());
-      for (NodeId v : mem) frag_of[v] = idx;
-      active.push_back(Active{r, std::move(mem), {}, false});
+    std::vector<std::uint32_t> active_of(n, kNoFragment);  // root -> idx
+    for (NodeId r = 0; r < n; ++r) {
+      if (forest.parent[r] != kNoNode) continue;  // not a root
+      if (size_of[r] > cap) continue;             // inactive this phase
+      active_of[r] = static_cast<std::uint32_t>(active.size());
+      active.push_back(Active{r, {}, {}, false});
+      active.back().members.reserve(size_of[r]);
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint32_t idx = active_of[root_now[v]];
+      if (idx == kNoFragment) continue;
+      frag_of[v] = idx;
+      active[idx].members.push_back(v);
     }
 
     // 2. Each active fragment finds its minimum outgoing edge.
@@ -126,7 +137,7 @@ ReferenceResult build_hierarchy_impl(const WeightedGraph& g,
       for (NodeId v : a.members) {
         for (const HalfEdge& he : g.neighbors(v)) {
           if (allowed && !(*allowed)[he.edge_index]) continue;
-          if (forest.root_of(he.to) == a.root) continue;  // internal
+          if (root_now[he.to] == a.root) continue;  // internal
           const EdgeKey k = edge_key(g, v, he.to, he.w);
           if (!best || k < *best) {
             best = k;

@@ -24,9 +24,12 @@ Piece piece_of(const FragmentHierarchy& h, std::uint32_t f) {
 
 /// Computes DFS pre-order indices of `nodes` within the part rooted at
 /// `root`, following the tree's child order restricted to part members.
+/// `part.nodes` is sorted by node index, so membership is a binary search.
 void fill_dfs_indices(const RootedTree& t, const Partitions::Part& part,
                       std::vector<std::uint32_t>& out) {
-  std::set<NodeId> members(part.nodes.begin(), part.nodes.end());
+  auto is_member = [&](NodeId v) {
+    return std::binary_search(part.nodes.begin(), part.nodes.end(), v);
+  };
   std::uint32_t idx = 0;
   // Iterative DFS over members only.
   std::vector<NodeId> stack = {part.root};
@@ -36,7 +39,7 @@ void fill_dfs_indices(const RootedTree& t, const Partitions::Part& part,
     out[v] = idx++;
     const auto& kids = t.children(v);
     for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
-      if (members.count(*it)) stack.push_back(*it);
+      if (is_member(*it)) stack.push_back(*it);
     }
   }
 }
@@ -167,16 +170,22 @@ Partitions build_partitions(const FragmentHierarchy& h, std::uint32_t pack) {
 
   // --- Split each P'' part into Top parts (Section 6.1.1, via [57]) -------
   out.top_part_of.assign(n, kNoFragment);
+  // Members of every P'' part, bucketed in one pass (node-index order), and
+  // per-node scratch reused across parts: resetting only the slots a part
+  // touched keeps the whole split O(n) overall instead of O(parts * n).
+  std::vector<std::vector<NodeId>> pp_members(part_red.size());
+  for (NodeId v = 0; v < n; ++v) pp_members[part_of[v]].push_back(v);
+  std::vector<std::uint8_t> in_part(n, 0);
+  std::vector<std::uint32_t> residual(n, 0);
+  std::vector<NodeId> cluster_root_of(n, kNoNode);
   for (std::uint32_t pid = 0; pid < part_red.size(); ++pid) {
-    std::vector<NodeId> members;
-    for (NodeId v = 0; v < n; ++v) {
-      if (part_of[v] == pid) members.push_back(v);
-    }
+    const std::vector<NodeId>& members = pp_members[pid];
+    for (NodeId v : members) in_part[v] = 1;
+    auto mem_count = [&](NodeId v) -> bool { return in_part[v]; };
     // Part root: the member whose tree parent is outside the part.
-    std::set<NodeId> mem_set(members.begin(), members.end());
     NodeId proot = kNoNode;
     for (NodeId v : members) {
-      if (v == t.root() || !mem_set.count(t.parent(v))) {
+      if (v == t.root() || !mem_count(t.parent(v))) {
         if (proot != kNoNode) {
           throw std::logic_error("P'' part is not a subtree");
         }
@@ -194,18 +203,16 @@ Partitions build_partitions(const FragmentHierarchy& h, std::uint32_t pack) {
         stack.pop_back();
         order.push_back(v);
         for (NodeId c : t.children(v)) {
-          if (mem_set.count(c)) stack.push_back(c);
+          if (mem_count(c)) stack.push_back(c);
         }
       }
       std::reverse(order.begin(), order.end());  // children before parents
     }
-    std::vector<std::uint32_t> residual(n, 0);
-    std::vector<NodeId> cluster_root_of(n, kNoNode);
     std::vector<NodeId> cluster_heads;
     for (NodeId v : order) {
       std::uint32_t r = 1;
       for (NodeId c : t.children(v)) {
-        if (mem_set.count(c) && cluster_root_of[c] == kNoNode) {
+        if (mem_count(c) && cluster_root_of[c] == kNoNode) {
           r += residual[c];
         }
       }
@@ -219,7 +226,7 @@ Partitions build_partitions(const FragmentHierarchy& h, std::uint32_t pack) {
           const NodeId x = stack.back();
           stack.pop_back();
           for (NodeId c : t.children(x)) {
-            if (mem_set.count(c) && cluster_root_of[c] == kNoNode) {
+            if (mem_count(c) && cluster_root_of[c] == kNoNode) {
               cluster_root_of[c] = v;
               stack.push_back(c);
             }
@@ -274,6 +281,13 @@ Partitions build_partitions(const FragmentHierarchy& h, std::uint32_t pack) {
       const auto tidx = static_cast<std::uint32_t>(out.top_parts.size());
       for (NodeId v : part.nodes) out.top_part_of[v] = tidx;
       out.top_parts.push_back(std::move(part));
+    }
+    // Reset only the slots this part touched; the scratch arrays are
+    // shared across all parts.
+    for (NodeId v : members) {
+      in_part[v] = 0;
+      residual[v] = 0;
+      cluster_root_of[v] = kNoNode;
     }
   }
 

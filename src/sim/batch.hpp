@@ -12,9 +12,10 @@
 namespace ssmst {
 
 /// Shared bench knob: thread count from argv[1] (floored at 1), defaulting
-/// to the hardware concurrency when absent.
+/// to the hardware concurrency when absent or when argv[1] is a `--flag`
+/// (the drivers keep the thread count positional and add flags after it).
 inline unsigned threads_from_argv(int argc, char** argv) {
-  if (argc <= 1) return ThreadPool::hardware_threads();
+  if (argc <= 1 || argv[1][0] == '-') return ThreadPool::hardware_threads();
   const int v = std::atoi(argv[1]);
   return v < 1 ? 1u : static_cast<unsigned>(v);
 }

@@ -64,6 +64,16 @@ class NeighborReader {
 /// are called concurrently on freshly written states and must be safe as
 /// const calls. Protocols that follow the locality rule and keep `step`
 /// free of unsynchronized member writes satisfy the contract for free.
+///
+/// Register layout contract: performance-sensitive protocols should keep
+/// `State` one contiguous, trivially-copyable block — fixed-capacity
+/// inline vectors (util/inline_vec.hpp) instead of heap containers, and
+/// only by-value members. The register file then owns all state directly
+/// (no pointers to chase, nothing to free), seeding or copying a register
+/// is a single flat memcpy, and steady-state sync rounds perform zero heap
+/// allocations (asserted for the verifier by tests/test_alloc_free.cpp).
+/// VerifierState static_asserts this contract; new register types should
+/// do the same.
 template <typename State>
 class Protocol {
  public:
@@ -93,10 +103,28 @@ class Protocol {
     step(v, next, nbr, time);
   }
 
+  /// Like step_into, but with a stronger engine guarantee: `next` holds
+  /// *this node's* round-(t-1) register, bit-exact as the engine last wrote
+  /// it — the previous round completed under the engine and neither buffer
+  /// has been externally mutated since (Simulation tracks this; any
+  /// non-const access to the register file, an async unit, or the very
+  /// first round demotes the round to plain step_into). Protocols whose
+  /// step leaves part of the register untouched can exploit the guarantee:
+  /// step-invariant fields already hold their round-(t+1) value in `next`
+  /// and need not be copied at all — this is the true zero-copy path for
+  /// registers dominated by immutable payload (e.g. proof labels).
+  /// Overrides must produce exactly the same `next` as step_into would.
+  /// Default: defer to step_into.
+  virtual void step_into_coherent(NodeId v, const State& prev, State& next,
+                                  const NeighborReader<State>& nbr,
+                                  std::uint64_t time) {
+    step_into(v, prev, next, nbr, time);
+  }
+
   /// Must return true iff step_into() is overridden to fully rewrite
   /// `next` without reading it. The simulation queries this once and then
   /// drives sync rounds with a single virtual call per activation on
-  /// either path (seed-copy + step, or step_into).
+  /// either path (seed-copy + step, or step_into/step_into_coherent).
   virtual bool rewrites_register() const { return false; }
 
   /// Semantic size of the state in bits (see DESIGN.md section 1).

@@ -73,14 +73,19 @@ struct SimulationStats {
 template <typename State>
 class Simulation {
  public:
+  /// `pool` (optional, not owned) shards sync rounds *and* the
+  /// construction-time accounting pass; passing it here instead of calling
+  /// set_thread_pool afterwards removes the last serial O(n) full sweep.
   Simulation(const WeightedGraph& g, Protocol<State>& proto,
-             std::vector<State> init)
+             std::vector<State> init, ThreadPool* pool = nullptr)
       : g_(&g),
         proto_(&proto),
         rewrites_register_(proto.rewrites_register()),
         regs_(std::move(init)),
         scratch_(regs_.size()),
-        alarm_time_(g.n(), kNever) {
+        alarm_time_(g.n(), kNever),
+        pool_(pool) {
+    compute_shards();
     record_pass(/*stamp=*/0);
   }
 
@@ -88,50 +93,63 @@ class Simulation {
 
   /// Shards subsequent sync_rounds across `pool` (not owned; must outlive
   /// the simulation or be detached with nullptr). nullptr restores the
-  /// serial sweep. Results are bit-identical either way.
+  /// serial sweep. Results are bit-identical either way. Safe to call at
+  /// any time and repeatedly: the shard boundaries are recomputed from the
+  /// CSR degrees on every call (they depend only on the pool width and the
+  /// immutable graph, never on when the call happens relative to other
+  /// setup).
   void set_thread_pool(ThreadPool* pool) {
     pool_ = pool;
-    shard_starts_.clear();
-    if (pool_ == nullptr || pool_->threads() <= 1) return;
-    // Contiguous shard boundaries balanced by half-edge count (+1 per node
-    // for the fixed per-activation cost), derived from the CSR degrees.
-    const NodeId n = g_->n();
-    const std::uint32_t shards =
-        std::min<std::uint32_t>(pool_->threads(), std::max<NodeId>(n, 1));
-    std::uint64_t total = n;
-    for (NodeId v = 0; v < n; ++v) total += g_->degree(v);
-    shard_starts_.reserve(shards + 1);
-    shard_starts_.push_back(0);
-    std::uint64_t acc = 0;
-    NodeId v = 0;
-    for (std::uint32_t s = 1; s < shards; ++s) {
-      const std::uint64_t target = total * s / shards;
-      while (v < n && acc < target) acc += 1 + g_->degree(v++);
-      shard_starts_.push_back(v);
-    }
-    shard_starts_.push_back(n);
+    compute_shards();
   }
 
   std::uint64_t time() const { return stats_.time; }
   const SimulationStats& stats() const { return stats_; }
-  std::vector<State>& states() { return regs_; }
+  /// Mutable register access. Any non-const access may rewrite registers
+  /// behind the engine's back, so it demotes the next sync round from the
+  /// coherent zero-copy path to the full step_into path (see sync_round).
+  /// Do NOT retain the returned reference across a sync_round: the
+  /// demotion covers only the next round, and a stale reference also
+  /// dangles across the buffer swap — re-fetch per mutation instead.
+  std::vector<State>& states() {
+    back_coherent_ = false;
+    return regs_;
+  }
   const std::vector<State>& states() const { return regs_; }
-  State& state(NodeId v) { return regs_[v]; }
+  State& state(NodeId v) {
+    back_coherent_ = false;
+    return regs_[v];
+  }
 
   /// One synchronous round: a single fused sweep that steps every node
   /// into the back buffer and records accounting on the fresh states,
   /// then swaps the buffers. With a thread pool attached, the sweep is
   /// sharded (see the class comment); the result is bit-identical.
+  ///
+  /// Zero-copy protocols get an extra gear: once a round has completed and
+  /// no external register access happened since (states()/state() calls,
+  /// async units), the back buffer provably holds each node's round-(t-1)
+  /// register, and the sweep dispatches step_into_coherent so protocols
+  /// can skip re-writing step-invariant state entirely. The first round,
+  /// and the first round after any external mutation, fall back to the
+  /// unconditional step_into rewrite. Results are bit-identical across
+  /// all three paths.
   void sync_round() {
     const NodeId n = g_->n();
     const std::uint64_t stamp = stats_.time + 1;
+    const bool coherent = back_coherent_;
     if (shard_starts_.size() > 2) {
       const auto shards =
           static_cast<std::uint32_t>(shard_starts_.size() - 1);
       shard_accs_.assign(shards, SweepAcc{});
-      pool_->run(shards, [this, stamp](std::uint32_t s) {
+      // Round context travels via members so the task fits std::function's
+      // small-object buffer — a sharded round allocates nothing.
+      sweep_stamp_ = stamp;
+      sweep_coherent_ = coherent;
+      pool_->run(shards, [this](std::uint32_t s) {
         SweepAcc acc;
-        sweep_range(shard_starts_[s], shard_starts_[s + 1], stamp, acc);
+        sweep_range(shard_starts_[s], shard_starts_[s + 1], sweep_stamp_,
+                    sweep_coherent_, acc);
         shard_accs_[s] = acc;
       });
       // Deterministic reduction: fold the shard deltas in shard order.
@@ -140,10 +158,11 @@ class Simulation {
       for (const SweepAcc& acc : shard_accs_) fold(acc, stamp);
     } else {
       SweepAcc acc;
-      sweep_range(0, n, stamp, acc);
+      sweep_range(0, n, stamp, coherent, acc);
       fold(acc, stamp);
     }
     regs_.swap(scratch_);
+    back_coherent_ = true;
     stats_.time = stamp;
     ++stats_.rounds;
     stats_.activations += n;
@@ -164,6 +183,8 @@ class Simulation {
         std::reverse(order_.begin(), order_.end());
         break;
     }
+    // In-place activations leave the back buffer behind the front one.
+    back_coherent_ = false;
     for (NodeId v : order_) {
       NeighborReader<State> nbr(*g_, regs_, v);
       proto_->step(v, regs_[v], nbr, stats_.time);
@@ -244,17 +265,55 @@ class Simulation {
     std::uint64_t newly_alarmed = 0;
   };
 
+  /// Recomputes the contiguous shard boundaries for the current pool:
+  /// balanced by half-edge count (+1 per node for the fixed per-activation
+  /// cost), derived from the CSR degrees. Called from the constructor and
+  /// from every set_thread_pool, so the boundaries never depend on call
+  /// order relative to other setup.
+  void compute_shards() {
+    shard_starts_.clear();
+    if (pool_ == nullptr || pool_->threads() <= 1) return;
+    const NodeId n = g_->n();
+    const std::uint32_t shards =
+        std::min<std::uint32_t>(pool_->threads(), std::max<NodeId>(n, 1));
+    std::uint64_t total = n;
+    for (NodeId v = 0; v < n; ++v) total += g_->degree(v);
+    shard_starts_.reserve(shards + 1);
+    shard_starts_.push_back(0);
+    std::uint64_t acc = 0;
+    NodeId v = 0;
+    for (std::uint32_t s = 1; s < shards; ++s) {
+      const std::uint64_t target = total * s / shards;
+      while (v < n && acc < target) acc += 1 + g_->degree(v++);
+      shard_starts_.push_back(v);
+    }
+    shard_starts_.push_back(n);
+  }
+
   /// Steps nodes [lo, hi) of the current round into the back buffer and
   /// accumulates their accounting into `acc`. Reads only the front buffer
   /// (plus the disjoint alarm_time_ slots of its own range), so disjoint
   /// ranges may sweep concurrently.
-  void sweep_range(NodeId lo, NodeId hi, std::uint64_t stamp, SweepAcc& acc) {
+  void sweep_range(NodeId lo, NodeId hi, std::uint64_t stamp, bool coherent,
+                   SweepAcc& acc) {
     if (rewrites_register_) {
-      // Zero-copy path: the protocol fully rewrites the back buffer.
-      for (NodeId v = lo; v < hi; ++v) {
-        NeighborReader<State> nbr(*g_, regs_, v);
-        proto_->step_into(v, regs_[v], scratch_[v], nbr, stats_.time);
-        record_state(v, scratch_[v], stamp, acc);
+      if (coherent) {
+        // Coherent zero-copy path: the back buffer holds each node's own
+        // round-(t-1) register, so the protocol may reuse step-invariant
+        // fields in place instead of rewriting them.
+        for (NodeId v = lo; v < hi; ++v) {
+          NeighborReader<State> nbr(*g_, regs_, v);
+          proto_->step_into_coherent(v, regs_[v], scratch_[v], nbr,
+                                     stats_.time);
+          record_state(v, scratch_[v], stamp, acc);
+        }
+      } else {
+        // Zero-copy path: the protocol fully rewrites the back buffer.
+        for (NodeId v = lo; v < hi; ++v) {
+          NeighborReader<State> nbr(*g_, regs_, v);
+          proto_->step_into(v, regs_[v], scratch_[v], nbr, stats_.time);
+          record_state(v, scratch_[v], stamp, acc);
+        }
       }
     } else {
       // Seeded path: one per-node seed copy into the back buffer, then
@@ -287,17 +346,40 @@ class Simulation {
     }
   }
 
+  /// Full accounting pass over the current registers (construction time).
+  /// Sharded across the pool when one is attached — record_state touches
+  /// only per-node slots, and the per-shard deltas fold in shard order, so
+  /// the result is bit-identical to the serial pass.
   void record_pass(std::uint64_t stamp) {
-    SweepAcc acc;
-    for (NodeId v = 0; v < g_->n(); ++v) {
-      record_state(v, regs_[v], stamp, acc);
+    if (shard_starts_.size() > 2) {
+      const auto shards =
+          static_cast<std::uint32_t>(shard_starts_.size() - 1);
+      shard_accs_.assign(shards, SweepAcc{});
+      pool_->run(shards, [this, stamp](std::uint32_t s) {
+        SweepAcc acc;
+        for (NodeId v = shard_starts_[s]; v < shard_starts_[s + 1]; ++v) {
+          record_state(v, regs_[v], stamp, acc);
+        }
+        shard_accs_[s] = acc;
+      });
+      for (const SweepAcc& acc : shard_accs_) fold(acc, stamp);
+    } else {
+      SweepAcc acc;
+      for (NodeId v = 0; v < g_->n(); ++v) {
+        record_state(v, regs_[v], stamp, acc);
+      }
+      fold(acc, stamp);
     }
-    fold(acc, stamp);
   }
 
   const WeightedGraph* g_;
   Protocol<State>* proto_;
   bool rewrites_register_ = false;
+  /// True while the back buffer provably holds each node's previous-round
+  /// register: set after every completed sync round, cleared by any
+  /// non-const register access, by async units, and at construction (the
+  /// back buffer starts value-initialized). Gates step_into_coherent.
+  bool back_coherent_ = false;
   std::vector<State> regs_;
   std::vector<State> scratch_;
   std::vector<NodeId> order_;
@@ -307,6 +389,8 @@ class Simulation {
   ThreadPool* pool_ = nullptr;          ///< not owned; nullptr = serial
   std::vector<NodeId> shard_starts_;    ///< shards + 1 boundaries, or empty
   std::vector<SweepAcc> shard_accs_;    ///< per-shard deltas of one round
+  std::uint64_t sweep_stamp_ = 0;       ///< round context for the shard task
+  bool sweep_coherent_ = false;         ///< (written before pool_->run)
 };
 
 }  // namespace ssmst

@@ -1,0 +1,144 @@
+#include "util/bench_io.hpp"
+
+#include <sys/resource.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ssmst {
+
+std::size_t peak_rss_bytes() {
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;
+}
+
+std::string arg_value(int argc, char** argv, const std::string& key,
+                      const std::string& fallback) {
+  const std::string prefix = key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+  }
+  return fallback;
+}
+
+std::uint64_t arg_u64(int argc, char** argv, const std::string& key,
+                      std::uint64_t fallback) {
+  const std::string v = arg_value(argc, argv, key);
+  if (v.empty()) return fallback;
+  return std::strtoull(v.c_str(), nullptr, 10);
+}
+
+void BenchJson::record(const std::string& name, const std::string& metric,
+                       double value) {
+  records_[name][metric] = value;
+}
+
+namespace {
+
+/// Parses the flat two-level JSON object BenchJson::flush writes. Not a
+/// general JSON parser: object-of-objects-of-numbers, double-quoted keys.
+void parse_flat_json(
+    const std::string& text,
+    std::map<std::string, std::map<std::string, double>>& out) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+  };
+  auto parse_string = [&]() -> std::string {
+    std::string s;
+    if (i >= text.size() || text[i] != '"') return s;
+    for (++i; i < text.size() && text[i] != '"'; ++i) s += text[i];
+    if (i < text.size()) ++i;  // closing quote
+    return s;
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') return;
+  ++i;
+  while (true) {
+    skip_ws();
+    if (i >= text.size() || text[i] == '}') break;
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    const std::string bench = parse_string();
+    skip_ws();
+    if (i < text.size() && text[i] == ':') ++i;
+    skip_ws();
+    if (i >= text.size() || text[i] != '{') return;
+    ++i;
+    while (true) {
+      skip_ws();
+      if (i >= text.size() || text[i] == '}') {
+        if (i < text.size()) ++i;
+        break;
+      }
+      if (text[i] == ',') {
+        ++i;
+        continue;
+      }
+      const std::string metric = parse_string();
+      skip_ws();
+      if (i < text.size() && text[i] == ':') ++i;
+      skip_ws();
+      std::size_t used = 0;
+      double value = 0;
+      try {
+        value = std::stod(text.substr(i), &used);
+      } catch (...) {
+        return;
+      }
+      i += used;
+      if (!bench.empty() && !metric.empty()) out[bench][metric] = value;
+    }
+  }
+}
+
+}  // namespace
+
+bool BenchJson::flush(const std::string& path) const {
+  if (path.empty()) return true;
+  std::map<std::string, std::map<std::string, double>> merged;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      parse_flat_json(ss.str(), merged);
+    }
+  }
+  for (const auto& [bench, metrics] : records_) {
+    for (const auto& [metric, value] : metrics) {
+      merged[bench][metric] = value;
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\n";
+  bool first_bench = true;
+  for (const auto& [bench, metrics] : merged) {
+    if (!first_bench) out << ",\n";
+    first_bench = false;
+    out << "  \"" << bench << "\": {";
+    bool first_metric = true;
+    for (const auto& [metric, value] : metrics) {
+      if (!first_metric) out << ", ";
+      first_metric = false;
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6g", value);
+      out << "\"" << metric << "\": " << buf;
+    }
+    out << "}";
+  }
+  out << "\n}\n";
+  return out.good();
+}
+
+}  // namespace ssmst

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ssmst {
+
+/// Peak resident set size of this process so far, in bytes (getrusage
+/// ru_maxrss). Monotone over the process lifetime: a value printed after
+/// the n-th experiment of a bench covers everything run up to that point.
+std::size_t peak_rss_bytes();
+
+/// Minimal argv helpers for the bench drivers (which keep their positional
+/// thread-count argument and add a few `--key=value` flags on top).
+std::string arg_value(int argc, char** argv, const std::string& key,
+                      const std::string& fallback = "");
+std::uint64_t arg_u64(int argc, char** argv, const std::string& key,
+                      std::uint64_t fallback);
+
+/// Collects benchmark records and merges them into a flat JSON file:
+///
+///   { "bench/name": {"items_per_s": 1.0e6, "peak_rss_bytes": 2.0e9}, ... }
+///
+/// flush() re-reads the target file and merges, so several bench binaries
+/// (and repeated runs) can contribute to one BENCH_PR3.json — the
+/// machine-readable perf trajectory tracked across PRs. The reader handles
+/// exactly the flat two-level subset this class writes.
+class BenchJson {
+ public:
+  void record(const std::string& name, const std::string& metric,
+              double value);
+
+  /// Merge-write into `path`; no-op when `path` is empty. Returns false on
+  /// I/O failure.
+  bool flush(const std::string& path) const;
+
+ private:
+  std::map<std::string, std::map<std::string, double>> records_;
+};
+
+}  // namespace ssmst

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace ssmst {
+
+/// Fixed-capacity vector with inline storage: a drop-in replacement for the
+/// small `std::vector`s inside hot register structs. The element buffer
+/// lives directly in the object, so a struct composed of InlineVecs (and
+/// scalars) is one contiguous, trivially-copyable block — copying a
+/// register is a flat memcpy, a sweep over a register file walks memory
+/// linearly, and steady-state rounds perform no heap allocation at all.
+///
+/// Semantics follow std::vector where the register code needs them
+/// (size/index/iterate/assign/push_back/clear/resize, element-wise ==);
+/// growth past `Cap` is a programming error — asserted in debug builds and
+/// clamped (excess elements dropped) in release builds, so corrupted
+/// length claims can never write out of bounds.
+///
+/// `T` must be trivially copyable; the buffer is value-initialized so
+/// registers compare and copy deterministically.
+template <typename T, std::uint32_t Cap>
+class InlineVec {
+ public:
+  using value_type = T;
+
+  constexpr InlineVec() = default;
+
+  static constexpr std::size_t capacity() { return Cap; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  void clear() { size_ = 0; }
+
+  void push_back(const T& v) {
+    assert(size_ < Cap);
+    if (size_ < Cap) data_[size_++] = v;
+  }
+
+  void resize(std::size_t n, const T& fill = T{}) {
+    assert(n <= Cap);
+    if (n > Cap) n = Cap;
+    for (std::size_t i = size_; i < n; ++i) data_[i] = fill;
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  void assign(std::size_t n, const T& v) {
+    assert(n <= Cap);
+    if (n > Cap) n = Cap;
+    for (std::size_t i = 0; i < n; ++i) data_[i] = v;
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    size_ = 0;
+    for (; first != last && size_ < Cap; ++first) data_[size_++] = *first;
+    assert(first == last);
+  }
+
+  /// Element-wise equality over the live prefix only: stale slots past
+  /// `size()` never influence comparisons (they do travel with copies).
+  friend bool operator==(const InlineVec& a, const InlineVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::uint32_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::uint32_t size_ = 0;
+  T data_[Cap] = {};
+};
+
+}  // namespace ssmst

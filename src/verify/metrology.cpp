@@ -1,13 +1,13 @@
 #include "verify/metrology.hpp"
 
+#include <chrono>
+
 namespace ssmst {
 
 VerifierHarness::VerifierHarness(const WeightedGraph& g, VerifierConfig cfg,
                                  std::uint64_t daemon_seed)
     : cfg_(cfg), marker_(make_labels(g, cfg.pack)), daemon_(daemon_seed) {
-  proto_ = std::make_unique<VerifierProtocol>(g, cfg_);
-  sim_ = std::make_unique<VerifierSim>(g, *proto_,
-                                       proto_->initial_states(marker_));
+  init(g);
 }
 
 VerifierHarness::VerifierHarness(const WeightedGraph& g, VerifierConfig cfg,
@@ -15,9 +15,17 @@ VerifierHarness::VerifierHarness(const WeightedGraph& g, VerifierConfig cfg,
                                  const std::vector<bool>& in_tree)
     : cfg_(cfg), marker_(make_labels_for_tree(g, in_tree, cfg.pack)),
       daemon_(daemon_seed) {
+  init(g);
+}
+
+void VerifierHarness::init(const WeightedGraph& g) {
   proto_ = std::make_unique<VerifierProtocol>(g, cfg_);
+  // The pool is created before the simulation so the construction-time
+  // accounting pass is already sharded (cfg_.threads > 1).
+  if (cfg_.threads > 1) pool_ = std::make_unique<ThreadPool>(cfg_.threads);
   sim_ = std::make_unique<VerifierSim>(g, *proto_,
-                                       proto_->initial_states(marker_));
+                                       proto_->initial_states(marker_),
+                                       pool_.get());
 }
 
 void VerifierHarness::set_threads(unsigned threads) {
@@ -108,6 +116,34 @@ DetectionResult VerifierHarness::measure_detection(
   res.distance = detection_distance(sim_->graph(), faulty, res.alarming);
   res.sim = sim_->stats();
   return res;
+}
+
+ScaleProbeResult run_scale_probe(VerifierHarness& h,
+                                 std::uint64_t warm_rounds) {
+  using Clock = std::chrono::steady_clock;
+  const NodeId n = h.sim().graph().n();
+  ScaleProbeResult out;
+
+  const auto t0 = Clock::now();
+  if (h.run(warm_rounds).has_value()) {
+    out.error = "false alarm";
+    return out;
+  }
+  const double warm_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  out.items_per_s = double(warm_rounds) * n / warm_s;
+
+  const NodeId victim = n / 2;
+  h.sim().state(victim).labels.subtree_count += 1;
+  const auto res = h.measure_detection({victim}, /*max_units=*/64);
+  if (!res.detected) {
+    out.error = "not detected";
+    return out;
+  }
+  out.ok = true;
+  out.detect_rounds = res.detection_time;
+  out.peak_state_bits = res.sim.peak_bits;
+  return out;
 }
 
 }  // namespace ssmst

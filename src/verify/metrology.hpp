@@ -68,7 +68,7 @@ class VerifierHarness {
                                     std::uint64_t slack = 0);
 
  private:
-  void init(const MarkerOutput& marker);
+  void init(const WeightedGraph& g);
 
   VerifierConfig cfg_;
   MarkerOutput marker_;
@@ -77,5 +77,25 @@ class VerifierHarness {
   std::unique_ptr<ThreadPool> pool_;  ///< owned; attached to sim_ when > 1
   Rng daemon_;
 };
+
+/// Result of one scale-bench probe (the shared core of the 2^20 sections
+/// of bench_detection_sync and bench_table1).
+struct ScaleProbeResult {
+  bool ok = false;          ///< steady state reached and the fault detected
+  const char* error = "";   ///< "false alarm" / "not detected" when !ok
+  double items_per_s = 0;   ///< steady-state sweep throughput (warm rounds)
+  std::uint64_t detect_rounds = 0;
+  std::size_t peak_state_bits = 0;
+};
+
+/// Drives `h` through the scale experiment: `warm_rounds` synchronous
+/// rounds that must not false-alarm (their wall time yields items/s), then
+/// a NumK label fault (subtree_count, caught by a 1-round check) at node
+/// n/2 and the detection measurement. The piece-tamper experiment measures
+/// the O(log^2 n) train path instead and lives in the classic-size E2
+/// sweep — its ~80(log n)^2-round constant is model cost, not simulator
+/// cost, and is hours of single-core wall clock at 2^20.
+ScaleProbeResult run_scale_probe(VerifierHarness& h,
+                                 std::uint64_t warm_rounds = 16);
 
 }  // namespace ssmst

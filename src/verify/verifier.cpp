@@ -1,6 +1,7 @@
 #include "verify/verifier.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "labels/verify1.hpp"
 #include "util/bits.hpp"
@@ -95,11 +96,28 @@ void VerifierProtocol::step_into(NodeId v, const VerifierState& prev,
                                  VerifierState& next,
                                  const NeighborReader<VerifierState>& nbr,
                                  std::uint64_t time) {
-  // Seed the back buffer from the round-t snapshot, then run the in-place
-  // step on it. The label vectors of `next` (the register from two rounds
-  // ago) already have the right capacity, so this assignment allocates
-  // nothing in steady state, and the stale value is never read.
+  // The register is one flat trivially-copyable block, so transferring the
+  // round-t snapshot into the back buffer is a single memcpy (no heap
+  // traffic), after which the in-place step computes round t+1.
   next = prev;
+  step(v, next, nbr, time);
+}
+
+void VerifierProtocol::step_into_coherent(
+    NodeId v, const VerifierState& prev, VerifierState& next,
+    const NeighborReader<VerifierState>& nbr, std::uint64_t time) {
+  // The engine guarantees `next` is this node's round-(t-1) register as the
+  // engine wrote it. `step` never touches `labels` or `parent_port`, so
+  // those already hold their round-(t+1) values in `next` (they equal
+  // prev's — asserted below in debug builds); only the runtime blocks need
+  // the round-t values before the in-place step runs.
+  assert(next.parent_port == prev.parent_port && next.labels == prev.labels);
+  next.train[0] = prev.train[0];
+  next.train[1] = prev.train[1];
+  next.show = prev.show;
+  next.ask = prev.ask;
+  next.want = prev.want;
+  next.alarm = prev.alarm;
   step(v, next, nbr, time);
 }
 
@@ -114,7 +132,7 @@ void VerifierProtocol::run_trains(NodeId v, VerifierState& self,
     const bool is_part_root = proot == l.self_id;
     const std::uint32_t claim =
         which == 0 ? l.top_piece_count : l.bot_piece_count;
-    const std::vector<Piece>& perm = which == 0 ? l.top_perm : l.bot_perm;
+    const auto& perm = which == 0 ? l.top_perm : l.bot_perm;
 
     // Same-part children: tree children sharing my part root.
     auto for_part_children = [&](auto&& fn) {

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "labels/labels.hpp"
@@ -116,6 +117,11 @@ struct VerifierState {
   friend bool operator==(const VerifierState&, const VerifierState&) = default;
 };
 
+// The flat-register contract (see sim/protocol.hpp): the verifier register
+// is one contiguous trivially-copyable block, so seeding/copying a register
+// is a flat memcpy and steady-state sync rounds never touch the allocator.
+static_assert(std::is_trivially_copyable_v<VerifierState>);
+
 /// Tuning knobs; defaults are calibrated by the test-suite so that correct
 /// instances never alarm while bounds keep the paper's shape.
 struct VerifierConfig {
@@ -129,7 +135,12 @@ struct VerifierConfig {
   std::uint32_t ask_budget_factor = 16;   ///< ask timeout factor
   /// Pieces stored per node when the harness marks the instance (>= 2);
   /// larger packs shorten the trains (the memory-for-time extension).
+  /// Capped at kLabelPackCap by the flat register layout.
   std::uint32_t pack = 2;
+  /// Sync-round shard width for VerifierHarness (1 = serial). Applied at
+  /// harness construction, so even the construction-time accounting pass
+  /// is sharded; VerifierHarness::set_threads can still change it later.
+  unsigned threads = 1;
 };
 
 /// The composed self-stabilizing MST verifier (Sections 5-8).
@@ -141,14 +152,22 @@ class VerifierProtocol final : public Protocol<VerifierState> {
             const NeighborReader<VerifierState>& nbr,
             std::uint64_t time) override;
 
-  /// Zero-copy sync hook: the verifier touches most of its register every
-  /// round, so the round-(t+1) state is produced directly in the back
-  /// buffer (seed from `prev`, then the in-place step). `next`'s label
-  /// vectors keep their capacity across rounds, so steady-state rounds
-  /// allocate nothing. Behaviour is pinned to `step` by tests.
+  /// Zero-copy sync hooks. The register is one flat trivially-copyable
+  /// block, so step_into transfers `prev` with a single memcpy and runs
+  /// the in-place step — no allocation, ever. step_into_coherent goes
+  /// further: `step` never writes the proof labels or the component, so
+  /// when the engine guarantees `next` already holds this node's previous
+  /// register, only the small runtime blocks (trains/show/ask/want/alarm)
+  /// are transferred and the O(log n)-sized label payload is not touched
+  /// at all — the true prev->next rewrite. Behaviour is pinned to `step`
+  /// by the schedule-equivalence tests.
   void step_into(NodeId v, const VerifierState& prev, VerifierState& next,
                  const NeighborReader<VerifierState>& nbr,
                  std::uint64_t time) override;
+  void step_into_coherent(NodeId v, const VerifierState& prev,
+                          VerifierState& next,
+                          const NeighborReader<VerifierState>& nbr,
+                          std::uint64_t time) override;
   bool rewrites_register() const override { return true; }
 
   std::size_t state_bits(const VerifierState& s, NodeId v) const override;

@@ -1,0 +1,141 @@
+// The allocation-free hot path (the flat-register contract of
+// sim/protocol.hpp): once the verifier reaches steady state, a sync round
+// must perform ZERO heap allocations — the registers are flat
+// trivially-copyable blocks, the engine double-buffers them, and nothing
+// on the per-activation path touches the allocator.
+//
+// Verified with a global operator new/delete counter: the strongest
+// possible assertion, immune to refactorings that merely move the
+// allocations around.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/ssmst.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+std::atomic<bool> g_counting{false};
+
+}  // namespace
+
+// The replacement operator new intentionally backs onto malloc/free (the
+// usual counting-hook pattern); GCC pairs new with delete and flags the
+// mismatch it cannot see through.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+// Global replacements: count while g_counting, always delegate to malloc.
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_news.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_news.fetch_add(1, std::memory_order_relaxed);
+  }
+  return std::malloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_news.fetch_add(1, std::memory_order_relaxed);
+  }
+  const auto a = static_cast<std::size_t>(align);
+  size = (size + a - 1) / a * a;  // aligned_alloc wants a multiple of a
+  if (void* p = std::aligned_alloc(a, size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace ssmst {
+namespace {
+
+/// Allocations performed by `fn`.
+template <typename Fn>
+std::uint64_t count_allocations(Fn&& fn) {
+  g_news.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  fn();
+  g_counting.store(false, std::memory_order_relaxed);
+  return g_news.load(std::memory_order_relaxed);
+}
+
+TEST(AllocFree, SteadyStateVerifierRoundAllocatesNothing) {
+  Rng rng(3);
+  auto g = gen::random_connected(192, 96, rng);
+  VerifierConfig cfg;
+  VerifierHarness h(g, cfg, 1);
+  ASSERT_FALSE(h.run(48).has_value());  // steady state, no false alarm
+
+  const std::uint64_t allocs =
+      count_allocations([&] {
+        for (int r = 0; r < 32; ++r) h.sim().sync_round();
+      });
+  EXPECT_EQ(allocs, 0u) << "steady-state sync rounds must not allocate";
+  EXPECT_FALSE(h.sim().first_alarm_time().has_value());
+}
+
+TEST(AllocFree, FullStepIntoPathAllocatesNothing) {
+  // Rounds right after an external register mutation take the full
+  // (non-coherent) step_into path; it must be allocation-free too.
+  Rng rng(4);
+  auto g = gen::random_connected(128, 64, rng);
+  VerifierConfig cfg;
+  VerifierHarness h(g, cfg, 2);
+  ASSERT_FALSE(h.run(32).has_value());
+
+  const std::uint64_t allocs = count_allocations([&] {
+    for (int r = 0; r < 8; ++r) {
+      // Touching a register via the mutable accessor demotes the next
+      // round to the full rewrite; flipping nothing keeps behaviour
+      // identical while still exercising that path.
+      (void)h.sim().state(0);
+      h.sim().sync_round();
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "full step_into rounds must not allocate";
+}
+
+TEST(AllocFree, ShardedSteadyStateRoundAllocatesNothing) {
+  Rng rng(5);
+  auto g = gen::random_connected(256, 128, rng);
+  VerifierConfig cfg;
+  cfg.threads = 4;
+  VerifierHarness h(g, cfg, 3);
+  ASSERT_FALSE(h.run(48).has_value());
+  // One warm sharded round so the per-shard accounting vector reaches
+  // capacity (a one-time setup cost, not a steady-state one).
+  h.sim().sync_round();
+
+  const std::uint64_t allocs =
+      count_allocations([&] {
+        for (int r = 0; r < 16; ++r) h.sim().sync_round();
+      });
+  EXPECT_EQ(allocs, 0u) << "sharded steady-state rounds must not allocate";
+}
+
+TEST(AllocFree, RegistersAreTriviallyCopyable) {
+  static_assert(std::is_trivially_copyable_v<NodeLabels>);
+  static_assert(std::is_trivially_copyable_v<VerifierState>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ssmst

@@ -5,6 +5,7 @@
 #include "labels/marker.hpp"
 #include "labels/verify1.hpp"
 #include "util/bits.hpp"
+#include "verify/verifier.hpp"
 
 namespace ssmst {
 namespace {
@@ -304,6 +305,83 @@ TEST(Kkp, RejectsTamperedFragmentId) {
     }
   }
   FAIL() << "no piece found to tamper";
+}
+
+// --- Bit-size invariance pins ----------------------------------------------
+// The paper's Table 1/2 numbers are *semantic* bit counts. These constants
+// were captured on the heap-vector label layout immediately before the
+// flat inline storage landed; the flattening (and any future layout work)
+// must not shift them — label_bits/state_bits cost the live content, never
+// the in-memory representation.
+
+TEST(BitSizePins, LabelAndStateBitsUnchangedByFlatLayout) {
+  Rng rng(9);
+  auto g = gen::random_connected(64, 32, rng);
+  auto m = make_labels(g, 2);
+  VerifierConfig cfg;
+  VerifierProtocol proto(g, cfg);
+  auto init = proto.initial_states(m);
+  Weight maxw = 0;
+  for (const Edge& e : g.edges()) maxw = std::max(maxw, e.w);
+  std::size_t lab_sum = 0, st_sum = 0, lab_max = 0, st_max = 0, kkp_sum = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto lb = label_bits(m.labels[v], g.n(), maxw, g.degree(v));
+    const auto sb = proto.state_bits(init[v], v);
+    lab_sum += lb;
+    st_sum += sb;
+    lab_max = std::max(lab_max, lb);
+    st_max = std::max(st_max, sb);
+    kkp_sum += kkp_label_bits(m.kkp_labels[v], g.n(), maxw, g.degree(v));
+  }
+  EXPECT_EQ(lab_sum, 9584u);
+  EXPECT_EQ(lab_max, 190u);
+  EXPECT_EQ(st_sum, 32457u);
+  EXPECT_EQ(st_max, 556u);
+  EXPECT_EQ(kkp_sum, 13856u);
+}
+
+TEST(BitSizePins, StarAndPathFamilies) {
+  {
+    Rng rng(5);
+    auto g = gen::star(33, rng);
+    auto m = make_labels(g, 4);
+    Weight maxw = 0;
+    for (const Edge& e : g.edges()) maxw = std::max(maxw, e.w);
+    std::size_t lab_sum = 0;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      lab_sum += label_bits(m.labels[v], g.n(), maxw, g.degree(v));
+    }
+    EXPECT_EQ(lab_sum, 4272u);
+  }
+  {
+    Rng rng(5);
+    auto g = gen::path(41, rng);
+    auto m = make_labels(g, 2);
+    Weight maxw = 0;
+    for (const Edge& e : g.edges()) maxw = std::max(maxw, e.w);
+    std::size_t lab_sum = 0;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      lab_sum += label_bits(m.labels[v], g.n(), maxw, g.degree(v));
+    }
+    EXPECT_EQ(lab_sum, 5679u);
+  }
+}
+
+TEST(BitSizePins, BitsCostContentNotCapacity) {
+  // Two labels with equal content but different mutation histories (and
+  // hence different stale bytes past the live prefix) must report the same
+  // size — and compare equal.
+  Rng rng(9);
+  auto g = gen::random_connected(16, 8, rng);
+  auto m = make_labels(g, 2);
+  NodeLabels a = m.labels[3];
+  NodeLabels b = a;
+  b.roots.push_back(RootsEntry::kOne);  // grow, then shrink back
+  b.roots.resize(a.roots.size());
+  Weight maxw = 0;
+  for (const Edge& e : g.edges()) maxw = std::max(maxw, e.w);
+  EXPECT_EQ(label_bits(a, g.n(), maxw, 3), label_bits(b, g.n(), maxw, 3));
+  EXPECT_TRUE(a == b);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "graph/generators.hpp"
 #include "labels/marker.hpp"
@@ -392,6 +393,130 @@ TEST(ParallelSim, DetachingPoolRestoresSerialSweep) {
   for (int r = 0; r < 20; ++r) a.sync_round();
   ASSERT_TRUE(a.states() == b.states());
   ASSERT_TRUE(a.stats() == b.stats());
+}
+
+TEST(ParallelSim, ConstructorPoolShardsLikeSetThreadPool) {
+  // Passing the pool at construction (which also shards the
+  // construction-time accounting pass) must be indistinguishable from
+  // attaching it afterwards — and from the serial sweep.
+  Rng rng(63);
+  auto g = gen::random_connected(40, 30, rng);
+  VerifierConfig cfg;
+  const MarkerOutput marker = make_labels(g, cfg.pack);
+  VerifierProtocol pa(g, cfg), pb(g, cfg), pc(g, cfg);
+  const auto init = pa.initial_states(marker);
+
+  ThreadPool pool(4);
+  Simulation<VerifierState> at_ctor(g, pa, init, &pool);
+  Simulation<VerifierState> after(g, pb, init);
+  after.set_thread_pool(&pool);
+  Simulation<VerifierState> serial(g, pc, init);
+  ASSERT_TRUE(at_ctor.stats() == serial.stats());  // sharded record_pass
+  for (int r = 0; r < 30; ++r) {
+    at_ctor.sync_round();
+    after.sync_round();
+    serial.sync_round();
+    ASSERT_TRUE(std::as_const(at_ctor).states() ==
+                std::as_const(serial).states())
+        << "round " << r;
+    ASSERT_TRUE(std::as_const(after).states() ==
+                std::as_const(serial).states())
+        << "round " << r;
+    ASSERT_TRUE(at_ctor.stats() == serial.stats()) << "round " << r;
+    ASSERT_TRUE(after.stats() == serial.stats()) << "round " << r;
+  }
+}
+
+// ----------------------- coherent zero-copy pin: step_into_coherent ≡ step
+//
+// With no external register access between rounds, the engine promotes
+// zero-copy protocols to step_into_coherent (the verifier then skips
+// copying its step-invariant label payload entirely). These tests compare
+// registers through *const* access only, so the coherent path genuinely
+// engages — and then corrupt registers mid-run through the mutable
+// accessor to prove the engine demotes to the full rewrite exactly when
+// the coherence guarantee breaks.
+
+void ExpectCoherentEquivalence(const WeightedGraph& g, unsigned threads) {
+  VerifierConfig cfg;
+  const MarkerOutput marker = make_labels(g, cfg.pack);
+  VerifierProtocol zc_proto(g, cfg);
+  ASSERT_TRUE(zc_proto.rewrites_register());
+  ForceSeededVerifier seeded_proto(g, cfg);
+  const auto init = zc_proto.initial_states(marker);
+
+  ThreadPool pool(threads);
+  Simulation<VerifierState> zc(g, zc_proto, init,
+                               threads > 1 ? &pool : nullptr);
+  Simulation<VerifierState> seeded(g, seeded_proto, init);
+  auto run_and_compare = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      zc.sync_round();
+      seeded.sync_round();
+      ASSERT_TRUE(std::as_const(zc).states() ==
+                  std::as_const(seeded).states())
+          << "round " << r;
+      ASSERT_TRUE(zc.stats() == seeded.stats()) << "round " << r;
+    }
+  };
+  run_and_compare(60);
+  // Identical mid-run corruption through the mutable accessor on both
+  // sims: labels change behind the engine's back, so the next zc round
+  // must fall back to the full step_into rewrite.
+  Rng ca(77), cb(77);
+  const NodeId victim = g.n() / 3;
+  zc_proto.corrupt(zc.state(victim), victim, ca);
+  zc_proto.corrupt(seeded.state(victim), victim, cb);
+  run_and_compare(60);
+}
+
+TEST(ParallelSim, CoherentVerifierPathMatchesStep) {
+  Rng rng(71);
+  auto g = gen::random_connected(40, 30, rng);
+  ExpectCoherentEquivalence(g, 1);
+  ExpectCoherentEquivalence(g, 4);
+}
+
+TEST(ParallelSim, CoherentVerifierPathMatchesStepOnStar) {
+  Rng rng(72);
+  auto g = gen::star(25, rng);
+  ExpectCoherentEquivalence(g, 1);
+  ExpectCoherentEquivalence(g, 4);
+}
+
+TEST(ParallelSim, CoherentVerifierPathMatchesStepOnPath) {
+  Rng rng(73);
+  auto g = gen::path(32, rng);
+  ExpectCoherentEquivalence(g, 1);
+  ExpectCoherentEquivalence(g, 4);
+}
+
+TEST(ParallelSim, AsyncUnitsDemoteCoherence) {
+  // Async units mutate the front buffer in place; a following sync round
+  // must not trust the stale back buffer. Equivalence against the seeded
+  // protocol (which never relies on coherence) proves the demotion.
+  Rng rng(74);
+  auto g = gen::random_connected(30, 20, rng);
+  VerifierConfig cfg;
+  const MarkerOutput marker = make_labels(g, cfg.pack);
+  VerifierProtocol zc_proto(g, cfg);
+  ForceSeededVerifier seeded_proto(g, cfg);
+  const auto init = zc_proto.initial_states(marker);
+  Simulation<VerifierState> zc(g, zc_proto, init);
+  Simulation<VerifierState> seeded(g, seeded_proto, init);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int r = 0; r < 7; ++r) {
+      zc.sync_round();
+      seeded.sync_round();
+    }
+    Rng da(100 + cycle), db(100 + cycle);
+    zc.async_unit(da, DaemonOrder::kRoundRobin);
+    seeded.async_unit(db, DaemonOrder::kRoundRobin);
+    zc.sync_round();
+    seeded.sync_round();
+    ASSERT_TRUE(std::as_const(zc).states() == std::as_const(seeded).states())
+        << "cycle " << cycle;
+  }
 }
 
 }  // namespace
