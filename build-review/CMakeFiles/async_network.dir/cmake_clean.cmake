@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_network.dir/examples/async_network.cpp.o"
+  "CMakeFiles/async_network.dir/examples/async_network.cpp.o.d"
+  "async_network"
+  "async_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

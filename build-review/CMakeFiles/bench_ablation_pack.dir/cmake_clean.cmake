@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pack.dir/bench/bench_ablation_pack.cpp.o"
+  "CMakeFiles/bench_ablation_pack.dir/bench/bench_ablation_pack.cpp.o.d"
+  "bench_ablation_pack"
+  "bench_ablation_pack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

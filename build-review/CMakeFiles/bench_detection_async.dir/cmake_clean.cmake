@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detection_async.dir/bench/bench_detection_async.cpp.o"
+  "CMakeFiles/bench_detection_async.dir/bench/bench_detection_async.cpp.o.d"
+  "bench_detection_async"
+  "bench_detection_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detection_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

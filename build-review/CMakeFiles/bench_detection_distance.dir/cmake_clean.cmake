@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detection_distance.dir/bench/bench_detection_distance.cpp.o"
+  "CMakeFiles/bench_detection_distance.dir/bench/bench_detection_distance.cpp.o.d"
+  "bench_detection_distance"
+  "bench_detection_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detection_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

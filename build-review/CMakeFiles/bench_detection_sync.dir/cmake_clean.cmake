@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detection_sync.dir/bench/bench_detection_sync.cpp.o"
+  "CMakeFiles/bench_detection_sync.dir/bench/bench_detection_sync.cpp.o.d"
+  "bench_detection_sync"
+  "bench_detection_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detection_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lowerbound.dir/bench/bench_lowerbound.cpp.o"
+  "CMakeFiles/bench_lowerbound.dir/bench/bench_lowerbound.cpp.o.d"
+  "bench_lowerbound"
+  "bench_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_train.dir/bench/bench_partition_train.cpp.o"
+  "CMakeFiles/bench_partition_train.dir/bench/bench_partition_train.cpp.o.d"
+  "bench_partition_train"
+  "bench_partition_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selfstab.dir/bench/bench_selfstab.cpp.o"
+  "CMakeFiles/bench_selfstab.dir/bench/bench_selfstab.cpp.o.d"
+  "bench_selfstab"
+  "bench_selfstab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selfstab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_walkthrough.dir/examples/figure1_walkthrough.cpp.o"
+  "CMakeFiles/figure1_walkthrough.dir/examples/figure1_walkthrough.cpp.o.d"
+  "figure1_walkthrough"
+  "figure1_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

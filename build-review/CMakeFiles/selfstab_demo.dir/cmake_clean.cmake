@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfstab_demo.dir/examples/selfstab_demo.cpp.o"
+  "CMakeFiles/selfstab_demo.dir/examples/selfstab_demo.cpp.o.d"
+  "selfstab_demo"
+  "selfstab_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfstab_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

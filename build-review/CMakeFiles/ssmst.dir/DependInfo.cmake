@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ssmst.cpp" "CMakeFiles/ssmst.dir/src/core/ssmst.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/core/ssmst.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "CMakeFiles/ssmst.dir/src/graph/generators.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "CMakeFiles/ssmst.dir/src/graph/graph.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/mst.cpp" "CMakeFiles/ssmst.dir/src/graph/mst.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/graph/mst.cpp.o.d"
+  "/root/repo/src/graph/tree.cpp" "CMakeFiles/ssmst.dir/src/graph/tree.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/graph/tree.cpp.o.d"
+  "/root/repo/src/hierarchy/checker.cpp" "CMakeFiles/ssmst.dir/src/hierarchy/checker.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/hierarchy/checker.cpp.o.d"
+  "/root/repo/src/hierarchy/fragment.cpp" "CMakeFiles/ssmst.dir/src/hierarchy/fragment.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/hierarchy/fragment.cpp.o.d"
+  "/root/repo/src/labels/labels.cpp" "CMakeFiles/ssmst.dir/src/labels/labels.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/labels/labels.cpp.o.d"
+  "/root/repo/src/labels/marker.cpp" "CMakeFiles/ssmst.dir/src/labels/marker.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/labels/marker.cpp.o.d"
+  "/root/repo/src/labels/verify1.cpp" "CMakeFiles/ssmst.dir/src/labels/verify1.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/labels/verify1.cpp.o.d"
+  "/root/repo/src/lowerbound/transform.cpp" "CMakeFiles/ssmst.dir/src/lowerbound/transform.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/lowerbound/transform.cpp.o.d"
+  "/root/repo/src/mstalgo/ghs_boruvka.cpp" "CMakeFiles/ssmst.dir/src/mstalgo/ghs_boruvka.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/mstalgo/ghs_boruvka.cpp.o.d"
+  "/root/repo/src/mstalgo/reference_hierarchy.cpp" "CMakeFiles/ssmst.dir/src/mstalgo/reference_hierarchy.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/mstalgo/reference_hierarchy.cpp.o.d"
+  "/root/repo/src/mstalgo/sync_mst.cpp" "CMakeFiles/ssmst.dir/src/mstalgo/sync_mst.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/mstalgo/sync_mst.cpp.o.d"
+  "/root/repo/src/partition/multiwave.cpp" "CMakeFiles/ssmst.dir/src/partition/multiwave.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/partition/multiwave.cpp.o.d"
+  "/root/repo/src/partition/partitions.cpp" "CMakeFiles/ssmst.dir/src/partition/partitions.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/partition/partitions.cpp.o.d"
+  "/root/repo/src/selfstab/baselines.cpp" "CMakeFiles/ssmst.dir/src/selfstab/baselines.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/selfstab/baselines.cpp.o.d"
+  "/root/repo/src/selfstab/reset.cpp" "CMakeFiles/ssmst.dir/src/selfstab/reset.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/selfstab/reset.cpp.o.d"
+  "/root/repo/src/selfstab/transformer.cpp" "CMakeFiles/ssmst.dir/src/selfstab/transformer.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/selfstab/transformer.cpp.o.d"
+  "/root/repo/src/sim/faults.cpp" "CMakeFiles/ssmst.dir/src/sim/faults.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/sim/faults.cpp.o.d"
+  "/root/repo/src/util/bench_io.cpp" "CMakeFiles/ssmst.dir/src/util/bench_io.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/util/bench_io.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/ssmst.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/ssmst.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/ssmst.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/util/thread_pool.cpp.o.d"
+  "/root/repo/src/verify/metrology.cpp" "CMakeFiles/ssmst.dir/src/verify/metrology.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/verify/metrology.cpp.o.d"
+  "/root/repo/src/verify/verifier.cpp" "CMakeFiles/ssmst.dir/src/verify/verifier.cpp.o" "gcc" "CMakeFiles/ssmst.dir/src/verify/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

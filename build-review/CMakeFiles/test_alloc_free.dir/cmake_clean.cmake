@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_free.dir/tests/test_alloc_free.cpp.o"
+  "CMakeFiles/test_alloc_free.dir/tests/test_alloc_free.cpp.o.d"
+  "test_alloc_free"
+  "test_alloc_free.pdb"
+  "test_alloc_free[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datalink.dir/tests/test_datalink.cpp.o"
+  "CMakeFiles/test_datalink.dir/tests/test_datalink.cpp.o.d"
+  "test_datalink"
+  "test_datalink.pdb"
+  "test_datalink[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datalink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_csr.dir/tests/test_graph_csr.cpp.o"
+  "CMakeFiles/test_graph_csr.dir/tests/test_graph_csr.cpp.o.d"
+  "test_graph_csr"
+  "test_graph_csr.pdb"
+  "test_graph_csr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_labels.dir/tests/test_labels.cpp.o"
+  "CMakeFiles/test_labels.dir/tests/test_labels.cpp.o.d"
+  "test_labels"
+  "test_labels.pdb"
+  "test_labels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mst.dir/tests/test_mst.cpp.o"
+  "CMakeFiles/test_mst.dir/tests/test_mst.cpp.o.d"
+  "test_mst"
+  "test_mst.pdb"
+  "test_mst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

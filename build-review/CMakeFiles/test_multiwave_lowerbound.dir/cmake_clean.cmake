@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiwave_lowerbound.dir/tests/test_multiwave_lowerbound.cpp.o"
+  "CMakeFiles/test_multiwave_lowerbound.dir/tests/test_multiwave_lowerbound.cpp.o.d"
+  "test_multiwave_lowerbound"
+  "test_multiwave_lowerbound.pdb"
+  "test_multiwave_lowerbound[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiwave_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

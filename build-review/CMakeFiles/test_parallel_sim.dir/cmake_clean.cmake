@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_sim.dir/tests/test_parallel_sim.cpp.o"
+  "CMakeFiles/test_parallel_sim.dir/tests/test_parallel_sim.cpp.o.d"
+  "test_parallel_sim"
+  "test_parallel_sim.pdb"
+  "test_parallel_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selfstab.dir/tests/test_selfstab.cpp.o"
+  "CMakeFiles/test_selfstab.dir/tests/test_selfstab.cpp.o.d"
+  "test_selfstab"
+  "test_selfstab.pdb"
+  "test_selfstab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selfstab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_mst.dir/tests/test_sync_mst.cpp.o"
+  "CMakeFiles/test_sync_mst.dir/tests/test_sync_mst.cpp.o.d"
+  "test_sync_mst"
+  "test_sync_mst.pdb"
+  "test_sync_mst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

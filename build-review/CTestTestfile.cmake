@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/test_alloc_free[1]_include.cmake")
+include("/root/repo/build-review/test_datalink[1]_include.cmake")
+include("/root/repo/build-review/test_extensions[1]_include.cmake")
+include("/root/repo/build-review/test_graph[1]_include.cmake")
+include("/root/repo/build-review/test_graph_csr[1]_include.cmake")
+include("/root/repo/build-review/test_hierarchy[1]_include.cmake")
+include("/root/repo/build-review/test_labels[1]_include.cmake")
+include("/root/repo/build-review/test_mst[1]_include.cmake")
+include("/root/repo/build-review/test_multiwave_lowerbound[1]_include.cmake")
+include("/root/repo/build-review/test_parallel_sim[1]_include.cmake")
+include("/root/repo/build-review/test_partition[1]_include.cmake")
+include("/root/repo/build-review/test_selfstab[1]_include.cmake")
+include("/root/repo/build-review/test_sim[1]_include.cmake")
+include("/root/repo/build-review/test_sync_mst[1]_include.cmake")
+include("/root/repo/build-review/test_util[1]_include.cmake")
+include("/root/repo/build-review/test_verifier[1]_include.cmake")
