@@ -1,21 +1,28 @@
 // Experiment E3 (Theorem 8.5): asynchronous detection time
 // O(Delta log^3 n) under a weakly fair daemon, with the Want/handshake
-// comparison mechanism (Section 7.2.2). Sweeps n at fixed degree and the
-// degree at fixed n.
+// comparison mechanism (Section 7.2.2). Sweeps n at fixed degree, the
+// degree at fixed n, and — new with the event-driven engine — the daemon
+// discipline at fixed n: the queue drain order (random / round-robin /
+// reverse / adversarial stale-first) is a workload axis for detection
+// latency, and the activations column shows the daemon work the
+// activation queue saves versus the legacy full sweep (n per unit).
 //
 // The per-seed sims are independent, so each sweep cell fans its seeds
 // out over a BatchRunner (threads from argv[1], default: hardware);
 // per-sim seeds are index-derived, so results match the serial sweep.
 //
 // Shape to check: time/(Delta (log n)^3) bounded; growth with Delta at
-// most linear.
+// most linear. --max-n caps the n sweep (CI smoke); --json= appends the
+// medians to the shared flat bench JSON.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "core/ssmst.hpp"
 #include "sim/batch.hpp"
+#include "util/bench_io.hpp"
 #include "util/bits.hpp"
 #include "util/table.hpp"
 
@@ -23,34 +30,76 @@ using namespace ssmst;
 
 namespace {
 
-double detect_async(const WeightedGraph& g, std::uint64_t seed) {
+struct AsyncDetect {
+  double units = -1;             ///< detection time, or -1 on failure
+  double activations_per_unit = 0;  ///< daemon schedulings / unit
+};
+
+AsyncDetect detect_async(const WeightedGraph& g, std::uint64_t seed,
+                         DaemonOrder order, bool legacy_sweep) {
   VerifierConfig cfg;
   cfg.sync_mode = false;
+  cfg.daemon = order;
+  cfg.legacy_sweep = legacy_sweep;
   VerifierHarness h(g, cfg, seed);
-  if (h.run(64).has_value()) return -1;
+  if (h.run(64).has_value()) return {};
   auto victim = h.tamper_loadbearing_piece(seed * 41);
-  if (!victim) return -1;
+  if (!victim) return {};
+  const SimulationStats before = h.sim().stats();
   auto res = h.measure_detection({*victim}, 1u << 23);
-  return res.detected ? static_cast<double>(res.detection_time) : -1;
+  AsyncDetect out;
+  if (!res.detected) return out;
+  out.units = static_cast<double>(res.detection_time);
+  const std::uint64_t units = res.sim.units - before.units;
+  if (units > 0) {
+    out.activations_per_unit =
+        static_cast<double>(res.sim.activations - before.activations) /
+        static_cast<double>(units);
+  }
+  return out;
 }
 
-/// Median of 3 independent detection sims, fanned out over the runner.
-double median_detect(BatchRunner& runner, const WeightedGraph& g) {
-  auto raw = runner.map<double>(
-      3, /*sweep_seed=*/g.n(),
-      [&](std::size_t i, Rng&) { return detect_async(g, i + 1); });
-  std::vector<double> xs;
-  for (double d : raw) {
-    if (d >= 0) xs.push_back(d);
+/// Median over 3 independent detection sims, fanned out over the runner.
+AsyncDetect median_detect(BatchRunner& runner, const WeightedGraph& g,
+                          DaemonOrder order = DaemonOrder::kRandom,
+                          bool legacy_sweep = false) {
+  auto raw = runner.map<AsyncDetect>(
+      3, /*sweep_seed=*/g.n(), [&](std::size_t i, Rng&) {
+        return detect_async(g, i + 1, order, legacy_sweep);
+      });
+  std::vector<AsyncDetect> xs;
+  for (const AsyncDetect& d : raw) {
+    if (d.units >= 0) xs.push_back(d);
   }
-  std::sort(xs.begin(), xs.end());
-  return xs.empty() ? 0 : xs[xs.size() / 2];
+  std::sort(xs.begin(), xs.end(),
+            [](const AsyncDetect& a, const AsyncDetect& b) {
+              return a.units < b.units;
+            });
+  return xs.empty() ? AsyncDetect{0, 0} : xs[xs.size() / 2];
+}
+
+const char* order_name(DaemonOrder o) {
+  switch (o) {
+    case DaemonOrder::kRandom:
+      return "random";
+    case DaemonOrder::kRoundRobin:
+      return "round-robin";
+    case DaemonOrder::kReverse:
+      return "reverse";
+    case DaemonOrder::kAdversarial:
+      return "adversarial";
+  }
+  return "?";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const unsigned threads = threads_from_argv(argc, argv);
+  const NodeId max_n =
+      static_cast<NodeId>(arg_u64(argc, argv, "--max-n", 256));
+  const std::string json_path = arg_value(argc, argv, "--json");
+  BenchJson json;
   std::printf(
       "== E3: detection time, asynchronous (target O(D log^3 n)) ==\n");
   std::printf("batch threads: %u\n", threads);
@@ -60,12 +109,15 @@ int main(int argc, char** argv) {
     Table t({"n", "detect units (median of 3)", "D*(log n)^3", "ratio"});
     Rng rng(5);
     for (NodeId n : {64u, 128u, 256u}) {
+      if (n > max_n) break;
       auto g = gen::random_bounded_degree(n, 4, n / 4, rng);
-      const double med = median_detect(runner, g);
+      const double med = median_detect(runner, g).units;
       const double l = ceil_log2(n) + 1;
       const double bound = g.max_degree() * l * l * l;
       t.add_row({Table::num(std::uint64_t{n}), Table::num(med, 0),
                  Table::num(bound, 0), Table::num(med / bound, 3)});
+      json.record("detection_async/n=" + std::to_string(n), "detect_units",
+                  med);
     }
     t.print();
   }
@@ -75,11 +127,46 @@ int main(int argc, char** argv) {
     Rng rng(6);
     for (std::uint32_t d : {3u, 6u, 12u, 24u}) {
       auto g = gen::random_bounded_degree(128, d, 64, rng);
-      const double med = median_detect(runner, g);
+      const double med = median_detect(runner, g).units;
       t.add_row({Table::num(std::uint64_t{g.max_degree()}),
                  Table::num(med, 0)});
+      json.record("detection_async/deg=" + std::to_string(g.max_degree()),
+                  "detect_units", med);
     }
     t.print();
+  }
+  std::puts(
+      "\n-- daemon-discipline sweep at n = 128 (queue vs legacy sweep) --");
+  {
+    // The adversarial stale-first drain is the worst-case schedule the
+    // weakly-fair contract admits; activations/unit shows how much daemon
+    // work the queue saves once alarmed regions quiesce.
+    Table t({"discipline", "detect units", "act/unit (queue)",
+             "act/unit (legacy)"});
+    Rng rng(7);
+    auto g = gen::random_bounded_degree(std::min<NodeId>(128, max_n), 4, 64,
+                                        rng);
+    for (DaemonOrder order :
+         {DaemonOrder::kRandom, DaemonOrder::kRoundRobin,
+          DaemonOrder::kReverse, DaemonOrder::kAdversarial}) {
+      const AsyncDetect q = median_detect(runner, g, order, false);
+      const AsyncDetect legacy = median_detect(runner, g, order, true);
+      t.add_row({order_name(order), Table::num(q.units, 0),
+                 Table::num(q.activations_per_unit, 1),
+                 Table::num(legacy.activations_per_unit, 1)});
+      const std::string key =
+          std::string("detection_async/order=") + order_name(order);
+      json.record(key, "detect_units", q.units);
+      json.record(key, "activations_per_unit", q.activations_per_unit);
+      json.record(key, "detect_units_legacy", legacy.units);
+    }
+    t.print();
+  }
+  json.record("bench_detection_async", "peak_rss_bytes",
+              double(peak_rss_bytes()));
+  if (!json.flush(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
   }
   return 0;
 }

@@ -64,7 +64,7 @@ int main() {
     h.run(16 * (ceil_log2(n) + 4));
     std::vector<double> cycles;
     for (NodeId v = 0; v < g.n(); ++v) {
-      const auto& st = h.sim().state(v);
+      const auto& st = h.sim().cstate(v);
       if (st.labels.top_part_root_id == st.labels.self_id &&
           st.labels.top_piece_count > 0) {
         // Root emits one piece every ~2 rounds once children ack: cycle ~

@@ -184,7 +184,7 @@ GhsRun run_ghs_boruvka(const WeightedGraph& g) {
     sim.sync_round();
     all_done = true;
     for (NodeId v = 0; v < g.n(); ++v) {
-      if (!sim.state(v).done) {
+      if (!sim.cstate(v).done) {
         all_done = false;
         break;
       }
@@ -193,7 +193,7 @@ GhsRun run_ghs_boruvka(const WeightedGraph& g) {
   NodeId root = kNoNode;
   std::vector<NodeId> parent(g.n(), kNoNode);
   for (NodeId v = 0; v < g.n(); ++v) {
-    const GhsState& s = sim.state(v);
+    const GhsState& s = sim.cstate(v);
     if (s.parent_port == kNone) {
       if (root != kNoNode) {
         throw std::logic_error("GHS baseline finished with two roots");

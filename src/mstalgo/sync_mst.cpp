@@ -280,7 +280,7 @@ SyncMstRun run_sync_mst(const WeightedGraph& g) {
     sim.sync_round();
     all_done = true;
     for (NodeId v = 0; v < g.n(); ++v) {
-      if (!sim.state(v).done) {
+      if (!sim.cstate(v).done) {
         all_done = false;
         break;
       }
@@ -290,7 +290,7 @@ SyncMstRun run_sync_mst(const WeightedGraph& g) {
   NodeId root = kNoNode;
   std::vector<NodeId> parent(g.n(), kNoNode);
   for (NodeId v = 0; v < g.n(); ++v) {
-    const SyncMstState& s = sim.state(v);
+    const SyncMstState& s = sim.cstate(v);
     if (s.parent_port == kNoPort) {
       if (root != kNoNode) {
         throw std::logic_error("SYNC_MST finished with two roots");

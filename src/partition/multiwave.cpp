@@ -135,7 +135,7 @@ MultiWaveResult run_multiwave(const MarkerOutput& marker, bool pipelined) {
   const NodeId root = marker.tree->root();
   const std::uint64_t top_bit = 1ULL << (len - 1);
   MultiWaveResult res;
-  while (!(sim.state(root).echoed & top_bit)) {
+  while (!(sim.cstate(root).echoed & top_bit)) {
     if (sim.time() > bound) {
       res.sim = sim.stats();
       res.rounds = res.sim.rounds;

@@ -24,6 +24,21 @@ class KkpVerifierProtocol final : public Protocol<KkpState> {
 
   void step(NodeId v, KkpState& self, const NeighborReader<KkpState>& nbr,
             std::uint64_t time) override;
+
+  /// Activation-queue change test (exact): the step writes only the sticky
+  /// alarm bit, so a node changes exactly when it newly alarms. A clean
+  /// stabilized instance is fully quiescent after one unit — the
+  /// KKM-regime sparse-activity case the queue-driven daemon targets.
+  /// (The generic byte-compare default would not apply: KkpLabels is
+  /// heap-backed, so KkpState is not trivially copyable.)
+  bool step_changed(NodeId v, KkpState& self,
+                    const NeighborReader<KkpState>& nbr,
+                    std::uint64_t time) override {
+    const bool before = self.alarm;
+    step(v, self, nbr, time);
+    return self.alarm != before;
+  }
+
   std::size_t state_bits(const KkpState& s, NodeId v) const override;
   bool alarmed(const KkpState& s) const override { return s.alarm; }
   void corrupt(KkpState& s, NodeId v, Rng& rng) const override;

@@ -6,7 +6,7 @@ namespace ssmst {
 
 std::uint64_t run_reset(const WeightedGraph& g,
                         const std::vector<NodeId>& seeds, bool sync_mode,
-                        Rng& daemon) {
+                        Rng& daemon, DaemonOrder order, bool legacy_sweep) {
   ResetProtocol proto(g);
   std::vector<ResetState> init(g.n());
   for (NodeId s : seeds) {
@@ -14,11 +14,13 @@ std::uint64_t run_reset(const WeightedGraph& g,
     init[s].seeded = true;
   }
   Simulation<ResetState> sim(g, proto, init);
+  if (legacy_sweep) sim.set_full_sweep(true);
   const std::uint64_t bound = 4ULL * g.n() + 16;
   for (;;) {
     bool all_settled = true;
     for (NodeId v = 0; v < g.n(); ++v) {
-      if (!sim.state(v).settled) {
+      // cstate: a read-only probe must not re-enable queue entries.
+      if (!sim.cstate(v).settled) {
         all_settled = false;
         break;
       }
@@ -30,7 +32,7 @@ std::uint64_t run_reset(const WeightedGraph& g,
     if (sync_mode) {
       sim.sync_round();
     } else {
-      sim.async_unit(daemon);
+      sim.async_unit(daemon, order);
     }
   }
 }

@@ -52,9 +52,13 @@ class ResetProtocol final : public Protocol<ResetState> {
 
 /// Floods a reset from the given seed nodes and returns the number of time
 /// units until every node settled. Synchronous: lock-step rounds;
-/// asynchronous: weakly fair daemon.
+/// asynchronous: weakly fair daemon under `order` (queue-driven by
+/// default; `legacy_sweep` restores the full-sweep daemon). The wave
+/// quiesces in the activation queue once settled — nodes outside the
+/// frontier cost nothing per unit.
 std::uint64_t run_reset(const WeightedGraph& g,
                         const std::vector<NodeId>& seeds, bool sync_mode,
-                        Rng& daemon);
+                        Rng& daemon, DaemonOrder order = DaemonOrder::kRandom,
+                        bool legacy_sweep = false);
 
 }  // namespace ssmst

@@ -60,6 +60,17 @@ class Synchronizer final : public Protocol<SynchronizedState<Inner>> {
     ++self.pulse;
   }
 
+  /// Activation-queue change test (exact): the wrapper writes the register
+  /// iff it executes a pulse (the early return leaves it untouched), and a
+  /// pulse always increments `pulse`. Nodes blocked on a lagging neighbour
+  /// are therefore quiescent until that neighbour's register changes.
+  bool step_changed(NodeId v, State& self, const NeighborReader<State>& nbr,
+                    std::uint64_t time) override {
+    const std::uint64_t before = self.pulse;
+    this->step(v, self, nbr, time);
+    return self.pulse != before;
+  }
+
   std::size_t state_bits(const State& s, NodeId v) const override {
     // Pulse counters are bounded by the wrapped protocol's running time.
     return 2 * inner_->state_bits(s.cur, v) + 32;

@@ -85,12 +85,14 @@ struct SelfStabilizingMst::Impl {
         train_sim = std::make_unique<VerifierSim>(
             g, *train_proto, train_proto->initial_states(marker));
         train_sim->set_thread_pool(round_pool());
+        if (opt.legacy_sweep) train_sim->set_full_sweep(true);
         break;
       case CheckerKind::kKkpVerifier:
         kkp_proto = std::make_unique<KkpVerifierProtocol>(g);
         kkp_sim = std::make_unique<Simulation<KkpState>>(
             g, *kkp_proto, kkp_proto->initial_states(marker));
         kkp_sim->set_thread_pool(round_pool());
+        if (opt.legacy_sweep) kkp_sim->set_full_sweep(true);
         break;
       case CheckerKind::kRecompute:
         recompute_ports = marker.parent_ports();
@@ -104,14 +106,16 @@ struct SelfStabilizingMst::Impl {
       case CheckerKind::kTrainVerifier: {
         std::vector<std::uint32_t> p(g.n());
         for (NodeId v = 0; v < g.n(); ++v) {
-          p[v] = train_sim->state(v).parent_port;
+          // cstate: read-only extraction must not demote coherence or
+          // re-enable the activation queue.
+          p[v] = train_sim->cstate(v).parent_port;
         }
         return p;
       }
       case CheckerKind::kKkpVerifier: {
         std::vector<std::uint32_t> p(g.n());
         for (NodeId v = 0; v < g.n(); ++v) {
-          p[v] = kkp_sim->state(v).parent_port;
+          p[v] = kkp_sim->cstate(v).parent_port;
         }
         return p;
       }
@@ -198,7 +202,7 @@ struct SelfStabilizingMst::Impl {
           if (opt.synchronous) {
             train_sim->sync_round();
           } else {
-            train_sim->async_unit(rng);
+            train_sim->async_unit(rng, opt.daemon);
           }
           if (train_sim->stats().first_alarm) break;
         }
@@ -215,7 +219,7 @@ struct SelfStabilizingMst::Impl {
           if (opt.synchronous) {
             kkp_sim->sync_round();
           } else {
-            kkp_sim->async_unit(rng);
+            kkp_sim->async_unit(rng, opt.daemon);
           }
           if (kkp_sim->stats().first_alarm) break;
         }
@@ -252,7 +256,7 @@ struct SelfStabilizingMst::Impl {
                        const std::vector<NodeId>& seeds) {
     rep.reset_time +=
         run_reset(g, seeds.empty() ? std::vector<NodeId>{0} : seeds,
-                  opt.synchronous, rng);
+                  opt.synchronous, rng, opt.daemon, opt.legacy_sweep);
     if (opt.synchronous) {
       auto run = run_sync_mst(g);
       note_sim(run.sim);
@@ -271,11 +275,12 @@ struct SelfStabilizingMst::Impl {
             }
             return init;
           }());
+      if (opt.legacy_sweep) sim.set_full_sweep(true);
       const std::uint64_t bound = 10ULL * (44ULL * g.n() + 64) + 64;
       for (;;) {
         bool all_done = true;
         for (NodeId v = 0; v < g.n(); ++v) {
-          if (!sim.state(v).cur.done) {
+          if (!sim.cstate(v).cur.done) {
             all_done = false;
             break;
           }
@@ -284,7 +289,7 @@ struct SelfStabilizingMst::Impl {
         if (sim.time() > bound) {
           throw std::logic_error("synchronized SYNC_MST did not finish");
         }
-        sim.async_unit(rng);
+        sim.async_unit(rng, opt.daemon);
       }
       note_sim(sim.stats());
       rep.build_time += sim.time();
@@ -304,7 +309,7 @@ struct SelfStabilizingMst::Impl {
           if (opt.synchronous) {
             train_sim->sync_round();
           } else {
-            train_sim->async_unit(rng);
+            train_sim->async_unit(rng, opt.daemon);
           }
         }
         rep.verify_quiet_time += opt.quiet_units;
@@ -317,7 +322,7 @@ struct SelfStabilizingMst::Impl {
           if (opt.synchronous) {
             kkp_sim->sync_round();
           } else {
-            kkp_sim->async_unit(rng);
+            kkp_sim->async_unit(rng, opt.daemon);
           }
         }
         rep.verify_quiet_time += opt.quiet_units;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "graph/graph.hpp"
+#include "sim/simulation.hpp"
 #include "util/rng.hpp"
 
 namespace ssmst {
@@ -44,6 +45,12 @@ struct TransformerOptions {
   /// (1 = serial). Results are bit-identical at any value; asynchronous
   /// phases are unaffected.
   unsigned threads = 1;
+  /// Daemon discipline for every asynchronous phase (checker, reset wave,
+  /// synchronized rebuild). kAdversarial = worst-case stale-first drain.
+  DaemonOrder daemon = DaemonOrder::kRandom;
+  /// Drive all asynchronous phases with the legacy full-sweep daemon
+  /// instead of the activation queue (the equivalence-test baseline).
+  bool legacy_sweep = false;
 };
 
 /// The enhanced Resynchronizer (Theorems 10.1-10.3) driven end to end:

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "sim/protocol.hpp"
+#include "sim/simulation.hpp"
 #include "util/rng.hpp"
 
 namespace ssmst {
@@ -12,12 +13,32 @@ std::vector<NodeId> pick_fault_nodes(NodeId n, std::size_t f, Rng& rng);
 
 /// Applies the protocol's adversarial corruption to `f` random nodes of a
 /// state vector. Returns the faulty node set.
+///
+/// Prefer the Simulation overload below when the registers live inside a
+/// simulation: taking the whole vector via states() conservatively
+/// re-enables all n nodes for the async activation queue, turning the
+/// first post-fault unit into a full sweep.
 template <typename State>
 std::vector<NodeId> inject_faults(const Protocol<State>& proto,
                                   std::vector<State>& regs, std::size_t f,
                                   Rng& rng) {
   auto victims = pick_fault_nodes(static_cast<NodeId>(regs.size()), f, rng);
   for (NodeId v : victims) proto.corrupt(regs[v], v, rng);
+  return victims;
+}
+
+/// Simulation-aware fault injection: corrupts `f` random registers through
+/// state(v), which enables exactly the victims and their neighbourhoods in
+/// the activation queue (the activation-queue contract: a fault is a
+/// register write, and only its closed neighbourhood can observe it). A
+/// single fault on a big quiescent instance therefore wakes O(deg) nodes,
+/// not n — the sparse post-stabilization detection case.
+template <typename State>
+std::vector<NodeId> inject_faults(const Protocol<State>& proto,
+                                  Simulation<State>& sim, std::size_t f,
+                                  Rng& rng) {
+  auto victims = pick_fault_nodes(sim.graph().n(), f, rng);
+  for (NodeId v : victims) proto.corrupt(sim.state(v), v, rng);
   return victims;
 }
 

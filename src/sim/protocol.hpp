@@ -1,8 +1,11 @@
 #pragma once
 
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -126,6 +129,63 @@ class Protocol {
   /// drives sync rounds with a single virtual call per activation on
   /// either path (seed-copy + step, or step_into/step_into_coherent).
   virtual bool rewrites_register() const { return false; }
+
+  /// One *asynchronous* activation of node v, returning whether the
+  /// activation changed the register. This is the hook the activation-queue
+  /// daemon (Simulation::async_unit) drives: a node whose step provably
+  /// left its register untouched is removed from the queue until its own or
+  /// a neighbour's register changes again, so quiescent regions cost
+  /// nothing per time unit.
+  ///
+  /// Contract: the call must be observationally identical to `step` (same
+  /// register afterwards). The returned flag may over-approximate — "true"
+  /// for an unchanged register only wastes re-activations — but must never
+  /// under-approximate: returning false for a changed register breaks the
+  /// weakly-fair schedule (neighbours would miss the change) and with it
+  /// the queue/full-sweep equivalence.
+  ///
+  /// The default detects changes generically: a byte copy + compare for
+  /// flat (trivially copyable) registers, operator== where one exists, and
+  /// a conservative "always changed" for anything else — which degrades to
+  /// the legacy every-node-every-unit daemon, never to a wrong schedule.
+  /// Protocols that know their own write set override this with a cheaper
+  /// exact test (e.g. the verifier: sticky alarms make alarmed nodes
+  /// quiescent, every live node advances a timer).
+  ///
+  /// Caveat — time-gated protocols: a register compare observes what this
+  /// step wrote, not what a step at a *later* time would write, so the
+  /// compare-based defaults under-approximate for protocols whose step
+  /// gates writes on the `time` argument (the non-self-stabilizing
+  /// construction algorithms: SYNC_MST phase windows, GHS). Such protocols
+  /// must not be driven by the queue daemon directly: run them under the
+  /// synchronizer wrapper (whose pulse, not global time, is the clock —
+  /// its step_changed is exact) as the transformer does, under
+  /// set_full_sweep(true), or override step_changed to return true while
+  /// the clock can still enable a future write. Self-stabilizing
+  /// protocols are unaffected: the model already forbids them from
+  /// relying on `time`.
+  virtual bool step_changed(NodeId v, State& self,
+                            const NeighborReader<State>& nbr,
+                            std::uint64_t time) {
+    if constexpr (std::is_trivially_copyable_v<State> &&
+                  std::is_default_constructible_v<State>) {
+      State before;
+      std::memcpy(static_cast<void*>(&before),
+                  static_cast<const void*>(&self), sizeof(State));
+      step(v, self, nbr, time);
+      return std::memcmp(static_cast<const void*>(&before),
+                         static_cast<const void*>(&self),
+                         sizeof(State)) != 0;
+    } else if constexpr (std::equality_comparable<State> &&
+                         std::is_copy_constructible_v<State>) {
+      const State before(self);
+      step(v, self, nbr, time);
+      return !(self == before);
+    } else {
+      step(v, self, nbr, time);
+      return true;  // undetectable: stay permanently enabled (legacy daemon)
+    }
+  }
 
   /// Semantic size of the state in bits (see DESIGN.md section 1).
   virtual std::size_t state_bits(const State& s, NodeId v) const = 0;

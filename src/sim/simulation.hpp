@@ -12,11 +12,17 @@
 
 namespace ssmst {
 
-/// Activation order within one asynchronous time unit.
+/// Activation order within one asynchronous time unit. With the activation
+/// queue these are queue *disciplines*: they fix the relative order in
+/// which the unit's enabled set is drained (and coincide with the classic
+/// full-permutation daemons when every node is enabled).
 enum class DaemonOrder {
-  kRandom,      ///< fresh random permutation per unit (weakly fair daemon)
-  kRoundRobin,  ///< fixed index order
-  kReverse,     ///< fixed reverse order (an adversarial-flavoured schedule)
+  kRandom,      ///< shuffled drain (weakly fair random daemon)
+  kRoundRobin,  ///< ascending index drain
+  kReverse,     ///< descending index drain (adversarial-flavoured)
+  kAdversarial, ///< stale-first drain: longest-unactivated nodes first, so
+                ///< the freshest information propagates as late as possible
+                ///< — the worst-case schedule for detection latency
 };
 
 /// Aggregate accounting for one simulation, maintained incrementally so
@@ -27,7 +33,17 @@ struct SimulationStats {
   std::uint64_t time = 0;         ///< current logical time
   std::uint64_t rounds = 0;       ///< synchronous rounds executed
   std::uint64_t units = 0;        ///< asynchronous units executed
-  std::uint64_t activations = 0;  ///< total node activations
+  /// Daemon schedulings: nodes handed an activation. Synchronous rounds add
+  /// n; queue-driven asynchronous units add only the drained enabled set
+  /// (the legacy full-sweep daemon adds n per unit).
+  std::uint64_t activations = 0;
+  /// Activations whose step actually changed the register. Tracked only by
+  /// queue-driven asynchronous units (where the change test already runs
+  /// for the dirty bookkeeping); synchronous rounds and legacy full-sweep
+  /// units leave it untouched rather than guess. activations minus
+  /// effective_steps is the daemon's wasted work — the quantity the
+  /// activation queue drives to zero.
+  std::uint64_t effective_steps = 0;
   std::uint64_t epoch = 0;        ///< time of the last alarm-history reset
   std::optional<std::uint64_t> first_alarm;  ///< earliest alarm since epoch
   std::uint64_t alarmed_nodes = 0;  ///< nodes alarmed since epoch
@@ -54,10 +70,39 @@ struct SimulationStats {
 /// round — there is no bulk register-file copy. Accounting is folded into
 /// the same pass, so one round makes exactly one sweep over the registers.
 ///
-/// Asynchronous semantics: in `async_unit` every node is activated exactly
-/// once, in daemon order, reading current (mixed) registers — the standard
-/// weakly fair central daemon; one unit is one "ideal time" unit.
-/// Accounting for the unit is batched into a single pass at its end.
+/// Asynchronous semantics: `async_unit` is event-driven. The engine keeps a
+/// per-node dirty bitmap plus a pending queue of *enabled* nodes; one unit
+/// drains the queue in daemon-discipline order, each drained node reading
+/// current (mixed) registers — a weakly fair central daemon in which one
+/// unit is one "ideal time" unit.
+///
+/// Activation-queue contract (when must a node be enabled/dirty):
+///  * at construction every node is enabled ("round 0 seeds all nodes");
+///  * when an activation changes a node's register, the node itself and
+///    all of its neighbours are enabled for the *next* unit (they read it);
+///  * `state(v)` (non-const) enables v's closed neighbourhood — the
+///    targeted hook fault injection uses (see sim/faults.hpp);
+///  * `states()` (non-const, whole file) and every completed `sync_round`
+///    conservatively re-enable all nodes, mirroring the back-buffer
+///    coherence demotion: the engine cannot know what changed;
+///  * a node whose activation provably changed nothing (Protocol::
+///    step_changed) leaves the queue until one of the rules above re-adds
+///    it;
+///  * enabling may over-approximate but never under-approximate: when a
+///    unit changed >= 1/4 of all registers the engine re-enables everyone
+///    wholesale instead of marking neighbourhoods (the next unit is a
+///    near-full sweep either way; skipping the bit traffic keeps dense
+///    units at legacy cost).
+/// A node enabled during unit t is activated in unit t+1, so every enabled
+/// node is activated at most one unit after becoming enabled — the weakly
+/// fair contract, preserved exactly. A quiescent or sparsely active unit
+/// therefore costs O(active + touched neighbourhoods), not O(n); because a
+/// deterministic protocol's unchanged-input re-step is a no-op, the drained
+/// superset yields register trajectories identical to the legacy
+/// every-node-per-unit daemon (pinned by tests/test_async_queue.cpp).
+/// `set_full_sweep(true)` restores that legacy daemon verbatim (every node
+/// activated once per unit, batched end-of-unit accounting) — the
+/// reference baseline for the equivalence tests and benches.
 ///
 /// Parallel synchronous rounds: after `set_thread_pool`, `sync_round`
 /// partitions the nodes into contiguous CSR ranges (one shard per pool
@@ -84,6 +129,8 @@ class Simulation {
         regs_(std::move(init)),
         scratch_(regs_.size()),
         alarm_time_(g.n(), kNever),
+        enabled_(g.n(), 0),
+        last_step_(g.n(), kNever32),
         pool_(pool) {
     compute_shards();
     record_pass(/*stamp=*/0);
@@ -107,19 +154,62 @@ class Simulation {
   const SimulationStats& stats() const { return stats_; }
   /// Mutable register access. Any non-const access may rewrite registers
   /// behind the engine's back, so it demotes the next sync round from the
-  /// coherent zero-copy path to the full step_into path (see sync_round).
+  /// coherent zero-copy path to the full step_into path (see sync_round)
+  /// and conservatively re-enables every node for the next async unit.
   /// Do NOT retain the returned reference across a sync_round: the
   /// demotion covers only the next round, and a stale reference also
   /// dangles across the buffer swap — re-fetch per mutation instead.
   std::vector<State>& states() {
     back_coherent_ = false;
+    enable_all_pending_ = true;
     return regs_;
   }
   const std::vector<State>& states() const { return regs_; }
+  /// Single-register mutable access: demotes sync coherence like states(),
+  /// but enables only v's closed neighbourhood for the async queue — the
+  /// targeted hook for point mutations (fault injection, probes that write
+  /// one register). Read-only call sites should use cstate() instead.
   State& state(NodeId v) {
     back_coherent_ = false;
+    mark_dirty(v);
     return regs_[v];
   }
+  /// Read-only register access that never demotes coherence or touches the
+  /// activation queue (the const state() overload is unreachable through a
+  /// non-const simulation reference, which silently made every probe loop
+  /// a full demotion — use this in probes).
+  const State& cstate(NodeId v) const { return regs_[v]; }
+
+  /// Enables node v and all of its neighbours for the next async unit.
+  /// Call after mutating v's register through a retained reference; state(v)
+  /// already calls it. O(deg v); duplicates are suppressed by the bitmap.
+  void mark_dirty(NodeId v) {
+    if (enable_all_pending_) return;  // superseded by a blanket re-enable
+    enqueue(v);
+    for (const HalfEdge& e : g_->neighbors(v)) enqueue(e.to);
+  }
+
+  /// True when no node is enabled: every further async unit is a no-op
+  /// until a register mutation (or sync round) re-enables something. The
+  /// queue-driven daemon's quiescence point.
+  bool async_quiescent() const {
+    return !enable_all_pending_ && queue_.empty();
+  }
+
+  /// Switches the asynchronous scheduler between the activation queue
+  /// (default) and the legacy full-sweep daemon in which every unit
+  /// activates all n nodes. Toggling re-seeds the queue (all nodes
+  /// enabled), so switching back mid-run stays conservative.
+  void set_full_sweep(bool on) {
+    full_sweep_ = on;
+    enable_all_pending_ = true;
+  }
+  bool full_sweep() const { return full_sweep_; }
+
+  /// True while the back buffer provably holds each node's previous-round
+  /// register (the coherent zero-copy gate; see sync_round). Exposed so
+  /// tests can pin the demote/re-establish cycle around async units.
+  bool back_buffer_coherent() const { return back_coherent_; }
 
   /// One synchronous round: a single fused sweep that steps every node
   /// into the back buffer and records accounting on the fresh states,
@@ -163,39 +253,109 @@ class Simulation {
     }
     regs_.swap(scratch_);
     back_coherent_ = true;
+    // A lock-step round rewrote the whole register file; the async queue
+    // cannot know what changed, so the next unit re-seeds every node.
+    enable_all_pending_ = true;
     stats_.time = stamp;
     ++stats_.rounds;
     stats_.activations += n;
   }
 
-  /// One asynchronous time unit (every node activated once, in-place).
+  /// One asynchronous time unit: drains the enabled set (the nodes whose
+  /// closed neighbourhood changed since their last activation) in daemon
+  /// order, in place. The demoted back-buffer coherence is re-established
+  /// by the first subsequent sync_round (its full step_into sweep rewrites
+  /// the back buffer; no reseed needed — pinned by test_alloc_free.cpp).
   void async_unit(Rng& rng, DaemonOrder order = DaemonOrder::kRandom) {
-    const NodeId n = g_->n();
-    order_.resize(n);
-    std::iota(order_.begin(), order_.end(), NodeId{0});
-    switch (order) {
-      case DaemonOrder::kRandom:
-        rng.shuffle(order_);
-        break;
-      case DaemonOrder::kRoundRobin:
-        break;
-      case DaemonOrder::kReverse:
-        std::reverse(order_.begin(), order_.end());
-        break;
+    const std::uint64_t stamp = stats_.time;
+    if (full_sweep_) {
+      // In-place activations leave the back buffer behind the front one.
+      back_coherent_ = false;
+      // Legacy daemon: every node activated exactly once per unit; each
+      // node's post-activation state survives to the end of the unit, so
+      // accounting is batched into one pass stamped with the unit's time.
+      build_drain_full();
+      discipline(order, rng);
+      for (NodeId v : drain_) {
+        NeighborReader<State> nbr(*g_, regs_, v);
+        proto_->step(v, regs_[v], nbr, stamp);
+      }
+      full_drain_stamp_ = static_cast<std::uint32_t>(stamp);
+      record_pass(stamp);
+      enable_all_pending_ = true;  // no dirty bookkeeping ran: stay safe
+      stats_.activations += g_->n();
+    } else {
+      // Queue-driven daemon: claim the pending queue (nodes enabled before
+      // this unit; nodes enabled mid-unit run next unit — weak fairness).
+      take_enabled();
+      // A quiescent unit activates nothing and writes no register, so the
+      // back buffer provably keeps its coherence; only a non-empty drain
+      // mutates the front buffer in place and demotes it.
+      if (!drain_.empty()) back_coherent_ = false;
+      discipline(order, rng);
+      SweepAcc acc;
+      // Dense cutover: once >= 1/4 of all registers changed this unit, the
+      // outcome is a blanket re-enable, so collecting further changed
+      // nodes is pointless — stop at the cut (the partial list is
+      // discarded). The list is collected through a raw cursor (capacity
+      // ensured up front) because a push_back's size/capacity traffic is
+      // measurable inside this loop.
+      const std::size_t cut = (regs_.size() + 3) / 4;
+      const std::uint32_t stamp32 = static_cast<std::uint32_t>(stamp);
+      if (changed_.size() < cut) changed_.resize(cut);
+      NodeId* coll = changed_.data();
+      NodeId* const coll_end = coll + cut;
+      std::uint64_t changed_n = 0;
+      if (drain_.size() == regs_.size()) {
+        // Full drain: every node's last activation is this unit, recorded
+        // as one scalar floor instead of n stores (a per-node streaming
+        // store costs ~15% of a dense unit; staleness() folds the floor
+        // back in, so kAdversarial ordering is unaffected).
+        for (NodeId v : drain_) {
+          NeighborReader<State> nbr(*g_, regs_, v);
+          if (proto_->step_changed(v, regs_[v], nbr, stamp)) {
+            ++changed_n;
+            if (coll != coll_end) *coll++ = v;
+          }
+        }
+        full_drain_stamp_ = stamp32;
+      } else {
+        for (NodeId v : drain_) {
+          NeighborReader<State> nbr(*g_, regs_, v);
+          if (proto_->step_changed(v, regs_[v], nbr, stamp)) {
+            ++changed_n;
+            if (coll != coll_end) *coll++ = v;
+          }
+          last_step_[v] = stamp32;
+        }
+      }
+      // Accounting in a second tight pass over the drain (not interleaved
+      // with the steps): a node is drained at most once per unit and only
+      // its own step writes its register, so the post-drain state equals
+      // the post-step state — same stamp semantics as the batched legacy
+      // pass at O(drained) cost, and keeping the virtual
+      // state_bits/alarmed calls out of the stepping loop keeps dense
+      // units at full-sweep throughput.
+      for (NodeId v : drain_) record_state(v, regs_[v], stamp, acc);
+      fold(acc, stamp);
+      stats_.activations += drain_.size();
+      stats_.effective_steps += changed_n;
+      // Dirty propagation, deferred to the unit's end (identical next-unit
+      // enabled set to inline marking). Dense change sets take the blanket
+      // re-enable — the next unit is a full sweep either way, and skipping
+      // the per-neighbourhood bit traffic keeps full-activity units within
+      // a few percent of the legacy sweep. Sparse ones mark exact closed
+      // neighbourhoods so activity can collapse to quiescence.
+      if (changed_n >= cut) {
+        enable_all_pending_ = true;
+      } else {
+        for (const NodeId* p = changed_.data(); p != coll; ++p) {
+          mark_dirty(*p);
+        }
+      }
     }
-    // In-place activations leave the back buffer behind the front one.
-    back_coherent_ = false;
-    for (NodeId v : order_) {
-      NeighborReader<State> nbr(*g_, regs_, v);
-      proto_->step(v, regs_[v], nbr, stats_.time);
-    }
-    // Each node is activated exactly once per unit, so its post-activation
-    // state survives to the end of the unit and accounting can be batched
-    // into one pass (stamped with the unit's own time, as before).
-    record_pass(stats_.time);
     ++stats_.time;
     ++stats_.units;
-    stats_.activations += n;
   }
 
   /// Runs synchronous rounds until an alarm fires or `max_rounds` elapse.
@@ -256,6 +416,8 @@ class Simulation {
  private:
   static constexpr std::uint64_t kNever =
       std::numeric_limits<std::uint64_t>::max();
+  static constexpr std::uint32_t kNever32 =
+      std::numeric_limits<std::uint32_t>::max();
 
   /// Accounting delta of one sweep over a node range. Kept local to the
   /// sweeping thread and folded into `stats_` at the barrier, so the
@@ -288,6 +450,90 @@ class Simulation {
       shard_starts_.push_back(v);
     }
     shard_starts_.push_back(n);
+  }
+
+  /// A node's effective last-activation stamp, +1 so the kNever32
+  /// sentinel wraps to 0 (never-activated nodes are stalest). Full drains
+  /// record one scalar floor instead of n per-node stores; a node's last
+  /// activation is the later of its own stamp and that floor.
+  std::uint32_t staleness_key(NodeId v) const {
+    return std::max<std::uint32_t>(last_step_[v] + 1,
+                                   full_drain_stamp_ + 1);
+  }
+
+  /// Adds v to the pending queue unless it is already there. O(1).
+  void enqueue(NodeId v) {
+    if (!enabled_[v]) {
+      enabled_[v] = 1;
+      queue_.push_back(v);
+    }
+  }
+
+  /// Claims the enabled set into drain_ (ascending node order) and clears
+  /// the pending queue. A blanket re-enable materializes as a full iota;
+  /// otherwise dense queues are collected by a bitmap scan (already
+  /// ascending) and sparse ones sorted directly — both yield the canonical
+  /// ascending base order the disciplines build on.
+  void take_enabled() {
+    const NodeId n = g_->n();
+    if (enable_all_pending_) {
+      enable_all_pending_ = false;
+      // enabled_[v] is set iff v is in queue_, so clearing the queued bits
+      // restores the all-clear invariant in O(queue), not O(n) — in dense
+      // steady state the queue is empty and this is free.
+      for (NodeId v : queue_) enabled_[v] = 0;
+      queue_.clear();
+      build_drain_full();
+      return;
+    }
+    drain_.clear();
+    if (queue_.size() * 16 >= n) {
+      drain_.reserve(queue_.size());
+      for (NodeId v = 0; v < n; ++v) {
+        if (enabled_[v]) {
+          enabled_[v] = 0;
+          drain_.push_back(v);
+        }
+      }
+      queue_.clear();
+    } else {
+      drain_.swap(queue_);
+      std::sort(drain_.begin(), drain_.end());
+      for (NodeId v : drain_) enabled_[v] = 0;
+    }
+  }
+
+  /// drain_ := all n nodes, ascending (the legacy full sweep).
+  void build_drain_full() {
+    drain_.resize(g_->n());
+    std::iota(drain_.begin(), drain_.end(), NodeId{0});
+  }
+
+  /// Applies the daemon discipline to the ascending drain_. Starting from
+  /// the canonical ascending order makes every discipline independent of
+  /// queue insertion order, and bit-identical to the classic full
+  /// permutation daemons whenever every node is enabled.
+  void discipline(DaemonOrder order, Rng& rng) {
+    switch (order) {
+      case DaemonOrder::kRandom:
+        rng.shuffle(drain_);
+        break;
+      case DaemonOrder::kRoundRobin:
+        break;  // already ascending
+      case DaemonOrder::kReverse:
+        std::reverse(drain_.begin(), drain_.end());
+        break;
+      case DaemonOrder::kAdversarial:
+        // Stale-first: longest-unactivated nodes run first, so every node
+        // acts on the oldest neighbourhood information the schedule can
+        // arrange. kNever+1 wraps to 0: never-activated nodes are stalest.
+        std::sort(drain_.begin(), drain_.end(), [this](NodeId a, NodeId b) {
+          const std::uint32_t sa = staleness_key(a);
+          const std::uint32_t sb = staleness_key(b);
+          return sa != sb ? sa < sb : a < b;
+        });
+        break;
+    }
   }
 
   /// Steps nodes [lo, hi) of the current round into the back buffer and
@@ -377,14 +623,31 @@ class Simulation {
   bool rewrites_register_ = false;
   /// True while the back buffer provably holds each node's previous-round
   /// register: set after every completed sync round, cleared by any
-  /// non-const register access, by async units, and at construction (the
+  /// non-const register access, by async units that activate at least one
+  /// node (a quiescent drain writes nothing), and at construction (the
   /// back buffer starts value-initialized). Gates step_into_coherent.
   bool back_coherent_ = false;
   std::vector<State> regs_;
   std::vector<State> scratch_;
-  std::vector<NodeId> order_;
   std::vector<std::uint64_t> alarm_time_;  ///< kNever = not alarmed
   SimulationStats stats_;
+
+  // Activation-queue state (see the class comment for the contract).
+  std::vector<std::uint8_t> enabled_;   ///< dirty bitmap: node is in queue_
+  std::vector<NodeId> queue_;           ///< pending: enabled, not yet drained
+  std::vector<NodeId> drain_;           ///< the unit in flight / last unit
+  std::vector<NodeId> changed_;         ///< register-changing steps, per unit
+  /// Unit of each node's last *sparse* activation, truncated to 32 bits
+  /// (only staleness order matters, and only for kAdversarial). Full
+  /// drains bump full_drain_stamp_ instead; staleness_key() merges the
+  /// two views.
+  std::vector<std::uint32_t> last_step_;
+  std::uint32_t full_drain_stamp_ = kNever32;  ///< unit of last full drain
+  /// Blanket re-enable requested (construction, sync rounds, states());
+  /// materialized lazily by the next async unit so sync-only runs never
+  /// pay for queue bookkeeping.
+  bool enable_all_pending_ = true;
+  bool full_sweep_ = false;  ///< legacy daemon: activate all n every unit
 
   ThreadPool* pool_ = nullptr;          ///< not owned; nullptr = serial
   std::vector<NodeId> shard_starts_;    ///< shards + 1 boundaries, or empty

@@ -26,6 +26,7 @@ void VerifierHarness::init(const WeightedGraph& g) {
   sim_ = std::make_unique<VerifierSim>(g, *proto_,
                                        proto_->initial_states(marker_),
                                        pool_.get());
+  if (cfg_.legacy_sweep) sim_->set_full_sweep(true);
 }
 
 void VerifierHarness::set_threads(unsigned threads) {
@@ -43,7 +44,7 @@ std::optional<std::uint64_t> VerifierHarness::run(std::uint64_t units) {
     if (cfg_.sync_mode) {
       sim_->sync_round();
     } else {
-      sim_->async_unit(daemon_);
+      sim_->async_unit(daemon_, cfg_.daemon);
     }
     if (auto t = sim_->first_alarm_time()) return t;
   }
@@ -51,7 +52,9 @@ std::optional<std::uint64_t> VerifierHarness::run(std::uint64_t units) {
 }
 
 std::vector<NodeId> VerifierHarness::inject_random(std::size_t f, Rng& rng) {
-  return inject_faults<VerifierState>(*proto_, sim_->states(), f, rng);
+  // Simulation-aware injection: enables only the victims' neighbourhoods
+  // in the activation queue instead of re-enabling all n nodes.
+  return inject_faults<VerifierState>(*proto_, *sim_, f, rng);
 }
 
 std::optional<NodeId> VerifierHarness::tamper_loadbearing_piece(
@@ -76,16 +79,22 @@ std::optional<NodeId> VerifierHarness::tamper_loadbearing_piece(
 
   for (NodeId i = 0; i < g.n(); ++i) {
     const NodeId x = static_cast<NodeId>((i + salt) % g.n());
-    auto& labels = sim_->state(x).labels;
+    // Scan read-only (cstate): only the node actually tampered goes through
+    // the mutating state() accessor, so the activation queue wakes exactly
+    // one closed neighbourhood — the sparse-detection scenario.
+    const auto& labels = sim_->cstate(x).labels;
     for (int which = 0; which < 2; ++which) {
-      auto& perm = which == 0 ? labels.top_perm : labels.bot_perm;
+      const auto& perm = which == 0 ? labels.top_perm : labels.bot_perm;
       const auto& part_nodes =
           which == 0 ? parts.top_parts[parts.top_part_of[x]].nodes
                      : parts.bot_parts[parts.bot_part_of[x]].nodes;
-      for (Piece& p : perm) {
+      for (std::size_t pi = 0; pi < perm.size(); ++pi) {
+        const Piece& p = perm[pi];
         if (p.min_out_w == Piece::kNoOutgoing) continue;  // the top fragment
         if (!intersects(fragment_of_piece(p), part_nodes)) continue;
-        p.min_out_w += 1 + salt % 5;
+        auto& mut = sim_->state(x).labels;
+        (which == 0 ? mut.top_perm : mut.bot_perm)[pi].min_out_w +=
+            1 + salt % 5;
         return x;
       }
     }
@@ -109,7 +118,7 @@ DetectionResult VerifierHarness::measure_detection(
     if (cfg_.sync_mode) {
       sim_->sync_round();
     } else {
-      sim_->async_unit(daemon_);
+      sim_->async_unit(daemon_, cfg_.daemon);
     }
   }
   res.alarming = sim_->alarmed_nodes();

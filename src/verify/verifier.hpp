@@ -141,6 +141,14 @@ struct VerifierConfig {
   /// harness construction, so even the construction-time accounting pass
   /// is sharded; VerifierHarness::set_threads can still change it later.
   unsigned threads = 1;
+  /// Async-mode daemon discipline for VerifierHarness (ignored in sync
+  /// mode). kAdversarial opens the worst-case stale-first workload family
+  /// for detection-latency experiments.
+  DaemonOrder daemon = DaemonOrder::kRandom;
+  /// Async mode only: drive the legacy full-sweep daemon (every node
+  /// activated every unit) instead of the activation queue. The reference
+  /// baseline for queue/full-sweep equivalence tests and benches.
+  bool legacy_sweep = false;
 };
 
 /// The composed self-stabilizing MST verifier (Sections 5-8).
@@ -169,6 +177,20 @@ class VerifierProtocol final : public Protocol<VerifierState> {
                           const NeighborReader<VerifierState>& nbr,
                           std::uint64_t time) override;
   bool rewrites_register() const override { return true; }
+
+  /// Activation-queue change test (exact, O(1) on top of step): alarms are
+  /// sticky — an alarmed node's step returns immediately, so it is
+  /// quiescent until a register write re-enables it; every live node
+  /// advances at least one runtime timer per activation, so it always
+  /// changes. Alarmed regions therefore stop costing daemon work, which is
+  /// what makes sparse post-detection async units cheap.
+  bool step_changed(NodeId v, VerifierState& self,
+                    const NeighborReader<VerifierState>& nbr,
+                    std::uint64_t time) override {
+    if (self.alarm != AlarmReason::kNone) return false;  // sticky: no-op
+    step(v, self, nbr, time);
+    return true;
+  }
 
   std::size_t state_bits(const VerifierState& s, NodeId v) const override;
   bool alarmed(const VerifierState& s) const override {

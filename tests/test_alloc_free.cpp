@@ -131,6 +131,52 @@ TEST(AllocFree, ShardedSteadyStateRoundAllocatesNothing) {
   EXPECT_EQ(allocs, 0u) << "sharded steady-state rounds must not allocate";
 }
 
+TEST(AllocFree, AsyncUnitDemotesAndOneSyncRoundReestablishesCoherence) {
+  // async_unit mutates the front buffer in place, so it demotes back-buffer
+  // coherence — but only until the next sync round: the full step_into
+  // sweep rewrites the whole back buffer, so that single round
+  // re-establishes coherence by itself (no reseed), and the rounds after
+  // it are back on the coherent zero-copy path, still allocation-free.
+  Rng rng(6);
+  auto g = gen::random_connected(160, 80, rng);
+  VerifierConfig cfg;
+  VerifierHarness h(g, cfg, 5);
+  ASSERT_FALSE(h.run(48).has_value());
+  ASSERT_TRUE(h.sim().back_buffer_coherent());
+
+  Rng daemon(7);
+  h.sim().async_unit(daemon, DaemonOrder::kRoundRobin);
+  EXPECT_FALSE(h.sim().back_buffer_coherent());
+
+  h.sim().sync_round();
+  EXPECT_TRUE(h.sim().back_buffer_coherent());
+  ASSERT_FALSE(h.sim().first_alarm_time().has_value());
+
+  const std::uint64_t allocs = count_allocations([&] {
+    for (int r = 0; r < 16; ++r) h.sim().sync_round();
+  });
+  EXPECT_EQ(allocs, 0u)
+      << "post-async coherent rounds must not allocate";
+  EXPECT_FALSE(h.sim().first_alarm_time().has_value());
+}
+
+TEST(AllocFree, SteadyStateAsyncUnitsAllocateNothing) {
+  // The activation queue itself must stay off the allocator once its
+  // buffers are warm: drains, dirty marking, discipline ordering and the
+  // per-activation accounting all run in preallocated storage.
+  Rng rng(8);
+  auto g = gen::random_connected(128, 64, rng);
+  VerifierConfig cfg;
+  cfg.sync_mode = false;
+  VerifierHarness h(g, cfg, 9);
+  ASSERT_FALSE(h.run(64).has_value());  // steady state + warm queue buffers
+
+  const std::uint64_t allocs = count_allocations([&] {
+    ASSERT_FALSE(h.run(32).has_value());
+  });
+  EXPECT_EQ(allocs, 0u) << "steady-state async units must not allocate";
+}
+
 TEST(AllocFree, RegistersAreTriviallyCopyable) {
   static_assert(std::is_trivially_copyable_v<NodeLabels>);
   static_assert(std::is_trivially_copyable_v<VerifierState>);

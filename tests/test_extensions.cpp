@@ -223,7 +223,8 @@ TEST(Figure1, LabelsLegalAndVerifierQuiet) {
 TEST(Daemon, AdversarialOrdersStayQuiet) {
   Rng rng(7);
   auto g = gen::random_connected(32, 20, rng);
-  for (DaemonOrder order : {DaemonOrder::kRoundRobin, DaemonOrder::kReverse}) {
+  for (DaemonOrder order : {DaemonOrder::kRoundRobin, DaemonOrder::kReverse,
+                            DaemonOrder::kAdversarial}) {
     VerifierConfig cfg;
     cfg.sync_mode = false;
     auto marker = make_labels(g);

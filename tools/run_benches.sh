@@ -16,8 +16,9 @@ out=${2:-BENCH_PR3.json}
 max_n=${3:-1048576}
 
 "$build/bench_micro" --json="$out" \
-  --benchmark_filter='BM_SimSyncRound|BM_VerifierRound'
+  --benchmark_filter='BM_SimSyncRound|BM_VerifierRound|BM_AsyncUnit'
 "$build/bench_detection_sync" 1 --max-n="$max_n" --json="$out"
+"$build/bench_detection_async" 1 --max-n="$max_n" --json="$out"
 "$build/bench_table1" 1 --max-n="$max_n" --json="$out"
 
 echo "wrote $out"
