@@ -67,6 +67,8 @@ bool run_scale_row(const char* family, const WeightedGraph& g, Table& t,
   json.record(key, "peak_rss_bytes", double(peak_rss_bytes()));
   json.record(key, "detect_rounds", double(probe.detect_rounds));
   json.record(key, "mark_seconds", mark_s);
+  json.record(key, "register_file_bytes_per_node",
+              double(probe.register_file_bytes_per_node));
   return true;
 }
 
@@ -128,7 +130,10 @@ int main(int argc, char** argv) {
     Table st({"family", "n", "mark s", "Mitems/s", "detect rounds",
               "peak state bits", "peak RSS MB"});
     bool ok = true;
-    for (std::uint64_t nn = 1u << 14; nn <= max_n && ok; nn *= 8) {
+    // Power-of-8 ladder ending exactly at max_n (a --max-n=2^22 run gets
+    // its own random row instead of stopping at 2^20).
+    for (const std::uint64_t nn : bench_ladder(1u << 14, 8, max_n)) {
+      if (!ok) break;
       const auto n = static_cast<NodeId>(nn);
       Rng rng(11);
       auto g = gen::random_connected(n, n / 2, rng);

@@ -63,7 +63,7 @@ int main() {
         for (const Edge& e : g.edges()) maxw = std::max(maxw, e.w);
         std::size_t bits = 0;
         for (NodeId v = 0; v < g.n(); ++v) {
-          bits = std::max(bits, kkp_label_bits(m.kkp_labels[v], n, maxw,
+          bits = std::max(bits, kkp_label_bits(m.kkp_label(v), n, maxw,
                                                g.degree(v)));
         }
         t.add_row({Table::num(std::uint64_t{n}), "kkp (1-round)",

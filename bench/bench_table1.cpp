@@ -131,9 +131,11 @@ int main(int argc, char** argv) {
     std::printf("\n== scale: marked-instance space & detection to n=%llu ==\n",
                 static_cast<unsigned long long>(max_n));
     Table st({"n", "state bits/node (this paper)", "kkp label bits/node",
-              "bits/log n", "Mitems/s", "detect rounds (label fault)",
-              "peak RSS MB"});
-    for (std::uint64_t nn = 1u << 14; nn <= max_n; nn *= 8) {
+              "bits/log n", "reg B/node", "Mitems/s",
+              "detect rounds (label fault)", "peak RSS MB"});
+    // Power-of-8 ladder from 2^14, always ending exactly at max_n so e.g.
+    // --max-n=2^22 gets its own row instead of stopping at 2^20.
+    for (const std::uint64_t nn : bench_ladder(1u << 14, 8, max_n)) {
       const auto n = static_cast<NodeId>(nn);
       Rng rng(7);
       auto g = gen::random_connected(n, n, rng);
@@ -143,8 +145,9 @@ int main(int argc, char** argv) {
       for (const Edge& e : g.edges()) maxw = std::max(maxw, e.w);
       std::size_t kkp_max = 0;
       for (NodeId v = 0; v < n; ++v) {
-        kkp_max = std::max(kkp_max, kkp_label_bits(h.marker().kkp_labels[v],
-                                                   n, maxw, g.degree(v)));
+        kkp_max = std::max(
+            kkp_max,
+            kkp_label_bits(h.marker().kkp_label(v), n, maxw, g.degree(v)));
       }
       const ScaleProbeResult probe = run_scale_probe(h);
       if (!probe.ok) {
@@ -158,6 +161,7 @@ int main(int argc, char** argv) {
                   Table::num(probe.peak_state_bits),
                   Table::num(kkp_max),
                   Table::num(double(probe.peak_state_bits) / logn, 1),
+                  Table::num(probe.register_file_bytes_per_node),
                   Table::num(probe.items_per_s / 1e6, 2),
                   Table::num(probe.detect_rounds), Table::num(rss_mb, 0)});
       const std::string key = "table1/scale/" + std::to_string(n);
@@ -165,6 +169,8 @@ int main(int argc, char** argv) {
       json.record(key, "peak_rss_bytes", double(peak_rss_bytes()));
       json.record(key, "space_bits_per_node", double(probe.peak_state_bits));
       json.record(key, "kkp_bits_per_node", double(kkp_max));
+      json.record(key, "register_file_bytes_per_node",
+                  double(probe.register_file_bytes_per_node));
     }
     st.print();
   }

@@ -84,7 +84,7 @@ int main() {
     for (NodeId v = 0; v < g.n(); ++v) {
       std::vector<std::string> row = {gen::figure1_name(v)};
       for (std::size_t j = 0; j < len; ++j) {
-        row.push_back(roots_cell(m.labels[v].roots[j]));
+        row.push_back(roots_cell(m.labels[v].roots()[j]));
       }
       t.add_row(row);
     }
@@ -96,7 +96,7 @@ int main() {
     for (NodeId v = 0; v < g.n(); ++v) {
       std::vector<std::string> row = {gen::figure1_name(v)};
       for (std::size_t j = 0; j < len; ++j) {
-        row.push_back(endp_cell(m.labels[v].endp[j]));
+        row.push_back(endp_cell(m.labels[v].endp()[j]));
       }
       t.add_row(row);
     }
@@ -108,7 +108,7 @@ int main() {
     for (NodeId v = 0; v < g.n(); ++v) {
       std::vector<std::string> row = {gen::figure1_name(v)};
       for (std::size_t j = 0; j < len; ++j) {
-        row.push_back(std::to_string(m.labels[v].parents[j]));
+        row.push_back(std::to_string(m.labels[v].parents()[j]));
       }
       t.add_row(row);
     }
@@ -120,7 +120,7 @@ int main() {
     for (NodeId v = 0; v < g.n(); ++v) {
       std::vector<std::string> row = {gen::figure1_name(v)};
       for (std::size_t j = 0; j < len; ++j) {
-        row.push_back(std::to_string(m.labels[v].endp_cnt[j]));
+        row.push_back(std::to_string(m.labels[v].endp_cnt()[j]));
       }
       t.add_row(row);
     }

@@ -69,18 +69,18 @@ int main() {
   for (NodeId v = 0; v < g.n(); ++v) {
     const NodeLabels& l = m.labels[v];
     std::printf("  %s: top[", gen::figure1_name(v).c_str());
-    for (std::size_t k = 0; k < l.top_perm.size(); ++k) {
+    for (std::size_t k = 0; k < l.top_perm().size(); ++k) {
       std::printf("%s(id%llu,l%u,w%llu)", k ? " " : "",
-                  static_cast<unsigned long long>(l.top_perm[k].root_id),
-                  l.top_perm[k].level,
-                  static_cast<unsigned long long>(l.top_perm[k].min_out_w));
+                  static_cast<unsigned long long>(l.top_perm()[k].root_id),
+                  l.top_perm()[k].level,
+                  static_cast<unsigned long long>(l.top_perm()[k].min_out_w));
     }
     std::printf("] bottom[");
-    for (std::size_t k = 0; k < l.bot_perm.size(); ++k) {
+    for (std::size_t k = 0; k < l.bot_perm().size(); ++k) {
       std::printf("%s(id%llu,l%u,w%llu)", k ? " " : "",
-                  static_cast<unsigned long long>(l.bot_perm[k].root_id),
-                  l.bot_perm[k].level,
-                  static_cast<unsigned long long>(l.bot_perm[k].min_out_w));
+                  static_cast<unsigned long long>(l.bot_perm()[k].root_id),
+                  l.bot_perm()[k].level,
+                  static_cast<unsigned long long>(l.bot_perm()[k].min_out_w));
     }
     std::puts("]");
   }

@@ -1,0 +1,63 @@
+#include "labels/arena.hpp"
+
+#include <mutex>
+
+namespace ssmst {
+
+/// Pool internals. Kept out of the header so the mutex and the parked
+/// slabs have one definition; the Impl leaks by design (function-local
+/// static lifetime), so labels installed in recycled arenas can be torn
+/// down safely in any order at process exit.
+struct LabelArenaPool::Impl {
+  std::mutex mu;
+  std::vector<std::unique_ptr<LabelArena>> free;
+  std::size_t created = 0;
+  /// Parking more slabs than concurrent marking contexts ever need would
+  /// just hoard memory; beyond the cap a released arena is truly freed.
+  static constexpr std::size_t kMaxPooled = 4;
+};
+
+LabelArenaPool::LabelArenaPool() : impl_(new Impl) {}
+
+LabelArenaPool& LabelArenaPool::instance() {
+  static LabelArenaPool pool;
+  return pool;
+}
+
+std::shared_ptr<LabelArena> LabelArenaPool::acquire() {
+  std::unique_ptr<LabelArena> arena;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    if (!impl_->free.empty()) {
+      arena = std::move(impl_->free.back());
+      impl_->free.pop_back();
+    } else {
+      arena = std::make_unique<LabelArena>();
+      ++impl_->created;
+    }
+  }
+  // The deleter returns the slab (capacity intact) instead of freeing it.
+  Impl* impl = impl_;
+  return std::shared_ptr<LabelArena>(
+      arena.release(), [impl](LabelArena* a) {
+        a->reset();
+        std::lock_guard<std::mutex> lk(impl->mu);
+        if (impl->free.size() < Impl::kMaxPooled) {
+          impl->free.emplace_back(a);
+        } else {
+          delete a;
+        }
+      });
+}
+
+std::size_t LabelArenaPool::created_total() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->created;
+}
+
+std::size_t LabelArenaPool::pooled() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->free.size();
+}
+
+}  // namespace ssmst

@@ -1,0 +1,262 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "partition/partitions.hpp"
+
+namespace ssmst {
+
+/// Entry of the Roots string (Section 5.2). Lives here, next to the stripe
+/// storage that holds it, so the arena header stays below labels.hpp in the
+/// include graph; labels.hpp re-exports it to all label users.
+enum class RootsEntry : std::uint8_t {
+  kStar = 0,  ///< no fragment of this level contains the node
+  kZero = 1,  ///< in a fragment of this level, not as its root
+  kOne = 2,   ///< root of the fragment of this level
+};
+
+/// Entry of the EndP string (Section 5.3).
+enum class EndpEntry : std::uint8_t {
+  kStar = 0,  ///< no fragment of this level
+  kNone = 1,  ///< in a fragment, not an endpoint of its candidate
+  kUp = 2,    ///< candidate leads to the node's tree parent
+  kDown = 3,  ///< candidate leads to one of the node's tree children
+};
+
+/// One level of a node's four hierarchy strings, interleaved: the strings
+/// advance in lockstep (all of length ell + 1), and the verifier's checks
+/// read several of them at the same level j, so packing the four 1-byte
+/// fields into one 4-byte entry makes a node's whole level payload a
+/// single contiguous ~4*(ell+1)-byte region — one or two cache lines
+/// instead of four scattered per-field arrays. Value-initialization gives
+/// exactly the kStar/0 defaults the marker starts from.
+struct LevelEntry {
+  RootsEntry roots = RootsEntry::kStar;
+  EndpEntry endp = EndpEntry::kStar;
+  std::uint8_t parents = 0;   ///< 0/1: marked child of the parent's candidate
+  std::uint8_t endp_cnt = 0;  ///< EPS1 counting sub-scheme, capped at 2
+};
+static_assert(sizeof(LevelEntry) == 4);
+
+/// Borrowed view of one label field's live slice: a pointer to the first
+/// element plus the live length, striding `StrideBytes` between elements —
+/// sizeof(T) for contiguous stripes (the piece packs), sizeof(LevelEntry)
+/// for a field interleaved inside the level stripe. Returned by value from
+/// the NodeLabels accessors; indexing, size and iteration mirror the
+/// std::vector subset the label code uses. The view borrows — it never
+/// allocates, frees or reallocates — so constructing one on the
+/// per-activation path costs two loads and keeps steady-state rounds off
+/// the allocator. Each strided address holds a genuine T subobject, so the
+/// byte arithmetic below is well-defined access.
+template <typename T, std::size_t StrideBytes = sizeof(T)>
+class StripeSpan {
+  using Byte = std::conditional_t<std::is_const_v<T>, const char, char>;
+
+ public:
+  using value_type = std::remove_const_t<T>;
+
+  StripeSpan() = default;
+  StripeSpan(T* data, std::uint32_t size) : data_(data), size_(size) {}
+  /// const view of a mutable one (mirrors span's qualification conversion).
+  template <typename U = T,
+            typename = std::enable_if_t<!std::is_const_v<U>>>
+  operator StripeSpan<const U, StrideBytes>() const {
+    return {data_, size_};
+  }
+
+  std::uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return *reinterpret_cast<T*>(reinterpret_cast<Byte*>(data_) +
+                                 i * StrideBytes);
+  }
+  T& back() const { return (*this)[size_ - 1]; }
+
+  /// Strided forward iterator (range-for support).
+  class iterator {
+   public:
+    explicit iterator(T* p) : p_(p) {}
+    T& operator*() const { return *p_; }
+    iterator& operator++() {
+      p_ = reinterpret_cast<T*>(reinterpret_cast<Byte*>(p_) + StrideBytes);
+      return *this;
+    }
+    friend bool operator==(iterator a, iterator b) { return a.p_ == b.p_; }
+
+   private:
+    T* p_;
+  };
+  iterator begin() const { return iterator(data_); }
+  iterator end() const {
+    if (size_ == 0) return iterator(data_);
+    return iterator(reinterpret_cast<T*>(reinterpret_cast<Byte*>(data_) +
+                                         size_ * StrideBytes));
+  }
+
+  /// Element-wise equality over the live slices (used by the content-based
+  /// NodeLabels comparison; views into different arenas compare equal iff
+  /// their contents do).
+  friend bool operator==(StripeSpan a, StripeSpan b) {
+    if (a.size_ != b.size_) return false;
+    for (std::uint32_t i = 0; i < a.size_; ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::uint32_t size_ = 0;
+};
+
+/// Striped-arena storage backing the variable-length payload of
+/// `NodeLabels` (the compact register file of the paper's O(log n)-bit
+/// labels). Two stripes: the interleaved per-level hierarchy strings
+/// (LevelEntry — roots/endp/parents/endp_cnt in lockstep, so one
+/// (offset, length) pair in the label header addresses all four), and the
+/// permanent-piece packs. A label owns a slice of each stripe sized to its
+/// *live* length (capacity = live length: no per-node padding to a
+/// worst-case cap, which is what made the old fixed-capacity inline layout
+/// cost ~5x the live bytes at scale).
+///
+/// Layout invariants:
+///  * the level stripe stores `len` LevelEntry slots per label at
+///    [lvl_off, lvl_off + len);
+///  * the piece stripe stores `2 * pack` slots per label: the top pack at
+///    [perm_off, perm_off + pack) and the bottom pack at
+///    [perm_off + pack, perm_off + 2*pack), with live counts in the header;
+///  * offsets are element indices, not pointers — the stripe vectors may
+///    reallocate while labels are being installed without invalidating any
+///    previously returned slice.
+///
+/// Concurrency & lifetime contract: allocation (`alloc_levels`/
+/// `alloc_pieces`) is single-threaded and happens only while labels are
+/// being *installed* (marking, initial_states, adopt_register_file). Steps
+/// of a running protocol only read (or point-mutate) existing slices, so
+/// steady-state simulation rounds never touch the arena allocator — the
+/// zero-alloc guarantee of tests/test_alloc_free.cpp. The arena object
+/// itself must outlive every label that points into it and must have a
+/// stable address (labels store a raw `LabelArena*`); use
+/// `LabelArenaPool::acquire()` for a heap-pinned, recycled instance.
+class LabelArena {
+ public:
+  LabelArena() = default;
+  LabelArena(const LabelArena&) = delete;
+  LabelArena& operator=(const LabelArena&) = delete;
+
+  /// Reserves stripe capacity for `nodes` labels of string length `len`
+  /// with `pack` pieces per train, so a bulk install performs O(1) stripe
+  /// reallocations instead of amortized growth.
+  void reserve(std::size_t nodes, std::size_t len, std::uint32_t pack) {
+    levels_.reserve(levels_.size() + nodes * len);
+    perm_.reserve(perm_.size() + nodes * 2 * std::size_t{pack});
+  }
+
+  /// Allocates `len` value-initialized level entries; returns the offset.
+  /// Offsets are 32-bit, capping one arena at 2^32 level entries — with
+  /// len <= 34 that is ~126M labels, beyond the 2^26 bench ceiling; the
+  /// asserts turn a wrap (offsets silently aliasing earlier labels'
+  /// stripes) into a debug crash.
+  std::uint32_t alloc_levels(std::uint32_t len) {
+    assert(levels_.size() <= UINT32_MAX - len);
+    const auto off = static_cast<std::uint32_t>(levels_.size());
+    levels_.resize(levels_.size() + len);
+    return off;
+  }
+
+  /// Allocates `2 * pack` value-initialized piece slots; returns the offset.
+  std::uint32_t alloc_pieces(std::uint32_t pack) {
+    assert(perm_.size() <= UINT32_MAX - 2 * std::size_t{pack});
+    const auto off = static_cast<std::uint32_t>(perm_.size());
+    perm_.resize(perm_.size() + 2 * std::size_t{pack});
+    return off;
+  }
+
+  /// Drops every slice but keeps the stripe capacity: the recycling hook.
+  /// Only valid when no live label points into this arena any more.
+  void reset() {
+    levels_.clear();
+    perm_.clear();
+  }
+
+  // Raw stripe access (labels add their header offsets). The per-field
+  // pointers address the named member of the first LevelEntry of a slice;
+  // field views stride by sizeof(LevelEntry) from there.
+  LevelEntry* levels(std::uint32_t off) { return levels_.data() + off; }
+  const LevelEntry* levels(std::uint32_t off) const {
+    return levels_.data() + off;
+  }
+  RootsEntry* roots(std::uint32_t off) { return &levels(off)->roots; }
+  const RootsEntry* roots(std::uint32_t off) const {
+    return &levels(off)->roots;
+  }
+  EndpEntry* endp(std::uint32_t off) { return &levels(off)->endp; }
+  const EndpEntry* endp(std::uint32_t off) const {
+    return &levels(off)->endp;
+  }
+  std::uint8_t* parents(std::uint32_t off) { return &levels(off)->parents; }
+  const std::uint8_t* parents(std::uint32_t off) const {
+    return &levels(off)->parents;
+  }
+  std::uint8_t* endp_cnt(std::uint32_t off) { return &levels(off)->endp_cnt; }
+  const std::uint8_t* endp_cnt(std::uint32_t off) const {
+    return &levels(off)->endp_cnt;
+  }
+  Piece* perm(std::uint32_t off) { return perm_.data() + off; }
+  const Piece* perm(std::uint32_t off) const { return perm_.data() + off; }
+
+  /// Bytes of live stripe content currently allocated (the compact
+  /// register file's out-of-header footprint).
+  std::size_t live_bytes() const {
+    return levels_.size() * sizeof(LevelEntry) + perm_.size() * sizeof(Piece);
+  }
+
+  /// Bytes of stripe *capacity* held (>= live_bytes after a reset); the
+  /// quantity the recycling test pins as non-monotonic across cycles.
+  std::size_t capacity_bytes() const {
+    return levels_.capacity() * sizeof(LevelEntry) +
+           perm_.capacity() * sizeof(Piece);
+  }
+
+ private:
+  std::vector<LevelEntry> levels_;
+  std::vector<Piece> perm_;
+};
+
+/// Process-wide pool of recycled LabelArena slabs. Marking and label
+/// installation happen once per configuration but *repeatedly* over a
+/// self-stabilizing run (the transformer re-marks after every reset), so
+/// the big stripe slabs are worth recycling: `acquire()` hands out a
+/// heap-pinned arena whose storage is reused from the last released one
+/// when available, and releasing (dropping the last shared_ptr) returns
+/// the slab to the pool instead of freeing it. Capacity therefore
+/// stabilizes after the first warm-up cycle instead of churning the
+/// allocator every re-mark (pinned by tests/test_arena.cpp).
+class LabelArenaPool {
+ public:
+  static LabelArenaPool& instance();
+
+  /// A reset arena with recycled capacity when the pool has one, fresh
+  /// otherwise. The returned pointer is stable for the arena's lifetime.
+  std::shared_ptr<LabelArena> acquire();
+
+  /// Total arenas ever constructed (not recycled) — the monotone counter
+  /// the recycling test watches for a plateau.
+  std::size_t created_total() const;
+  /// Arenas currently parked in the pool.
+  std::size_t pooled() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  LabelArenaPool();
+};
+
+}  // namespace ssmst

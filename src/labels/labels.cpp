@@ -24,14 +24,17 @@ std::size_t label_bits(const NodeLabels& l, NodeId n, Weight max_weight,
   std::size_t bits = 0;
   bits += 3 * id_bits + n_bits;            // SP
   bits += 2 * n_bits;                      // NumK
-  bits += l.roots.size() * 2;              // Roots entries
-  bits += l.endp.size() * 2;               // EndP entries
-  bits += l.parents.size() * 1;            // Parents bits
-  bits += l.endp_cnt.size() * 2;           // counting sub-scheme
+  // Live lengths come straight from the label header — per-entry costs are
+  // uniform, so this never needs to touch the arena stripes.
+  const std::size_t len = l.string_length();
+  bits += len * 2;                         // Roots entries
+  bits += len * 2;                         // EndP entries
+  bits += len * 1;                         // Parents bits
+  bits += len * 2;                         // counting sub-scheme
   bits += 2 * id_bits + 2 * n_bits;        // part roots + depths
   bits += 2 * lvl_bits + lvl_bits;         // piece counts + delimiter
   bits += lvl_bits;                        // packing constant
-  bits += (l.top_perm.size() + l.bot_perm.size()) * piece_bits(n, max_weight);
+  bits += (std::size_t{l.top_n} + l.bot_n) * piece_bits(n, max_weight);
   return bits;
 }
 

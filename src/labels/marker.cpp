@@ -4,6 +4,29 @@
 
 namespace ssmst {
 
+KkpLabels MarkerOutput::kkp_label(NodeId v) const {
+  const WeightedGraph& g = tree->graph();
+  const FragmentHierarchy& h = *hierarchy;
+  KkpLabels out;
+  out.base = labels[v];
+  out.pieces.assign(labels[v].string_length(), std::nullopt);
+  for (const auto& [lev, f] : h.membership(v)) {
+    const Fragment& frag = h.fragment(f);
+    Piece p;
+    p.root_id = g.id(frag.root);
+    p.level = static_cast<std::uint32_t>(lev);
+    p.min_out_w = frag.has_candidate ? frag.cand_weight : Piece::kNoOutgoing;
+    out.pieces[static_cast<std::size_t>(lev)] = p;
+  }
+  return out;
+}
+
+std::vector<KkpLabels> MarkerOutput::kkp_label_vector() const {
+  std::vector<KkpLabels> out(labels.size());
+  for (NodeId v = 0; v < labels.size(); ++v) out[v] = kkp_label(v);
+  return out;
+}
+
 std::vector<std::uint32_t> MarkerOutput::parent_ports() const {
   const WeightedGraph& g = tree->graph();
   std::vector<std::uint32_t> ports(g.n(),
@@ -18,8 +41,8 @@ namespace {
 
 MarkerOutput assemble(const WeightedGraph& g, ReferenceResult ref,
                       std::uint32_t pack) {
-  // The flat label layout stores the packs inline; larger requests would
-  // not fit a register and are clamped to the supported maximum.
+  // Historical pack ceiling kept so the ablation suite's axis is stable;
+  // the arena itself has no per-node capacity to exceed any more.
   pack = std::min(pack, kLabelPackCap);
   MarkerOutput out;
   out.tree = std::move(ref.tree);
@@ -33,6 +56,11 @@ MarkerOutput assemble(const WeightedGraph& g, ReferenceResult ref,
   const NodeId n = g.n();
   const auto len = static_cast<std::size_t>(h.height()) + 1;
 
+  // Striped-arena install: one bulk reservation, then per-label slices at
+  // capacity == live length (a recycled slab when the pool has one).
+  out.arena = LabelArenaPool::instance().acquire();
+  out.arena->reserve(n, len, pack);
+
   out.labels.assign(n, {});
   for (NodeId v = 0; v < n; ++v) {
     NodeLabels& l = out.labels[v];
@@ -43,22 +71,24 @@ MarkerOutput assemble(const WeightedGraph& g, ReferenceResult ref,
     l.n_claim = n;
     l.subtree_count = t.subtree_size(v);
 
-    l.roots.assign(len, RootsEntry::kStar);
-    l.endp.assign(len, EndpEntry::kStar);
-    l.parents.assign(len, 0);
-    l.endp_cnt.assign(len, 0);
+    // Value-initialized slices == the kStar/0 defaults the strings start
+    // from; only the membership entries below deviate.
+    l.alloc(*out.arena, static_cast<std::uint32_t>(len), pack);
+    const auto roots = l.roots();
+    const auto endp = l.endp();
+    const auto parents = l.parents();
     for (const auto& [lev, f] : h.membership(v)) {
       const Fragment& frag = h.fragment(f);
       const auto j = static_cast<std::size_t>(lev);
-      l.roots[j] = frag.root == v ? RootsEntry::kOne : RootsEntry::kZero;
+      roots[j] = frag.root == v ? RootsEntry::kOne : RootsEntry::kZero;
       if (!frag.has_candidate) {
-        l.endp[j] = EndpEntry::kNone;
+        endp[j] = EndpEntry::kNone;
       } else if (frag.cand_inside != v) {
-        l.endp[j] = EndpEntry::kNone;
+        endp[j] = EndpEntry::kNone;
       } else if (v != t.root() && frag.cand_outside == t.parent(v)) {
-        l.endp[j] = EndpEntry::kUp;
+        endp[j] = EndpEntry::kUp;
       } else {
-        l.endp[j] = EndpEntry::kDown;
+        endp[j] = EndpEntry::kDown;
       }
     }
     if (v != t.root()) {
@@ -67,7 +97,7 @@ MarkerOutput assemble(const WeightedGraph& g, ReferenceResult ref,
         const Fragment& frag = h.fragment(f);
         if (frag.has_candidate && frag.cand_inside == y &&
             frag.cand_outside == v) {
-          l.parents[static_cast<std::size_t>(lev)] = 1;
+          parents[static_cast<std::size_t>(lev)] = 1;
         }
       }
     }
@@ -84,8 +114,8 @@ MarkerOutput assemble(const WeightedGraph& g, ReferenceResult ref,
     l.pack = parts.pack;
     const auto tp = parts.perm_top_pieces(v);
     const auto bp = parts.perm_bot_pieces(v);
-    l.top_perm.assign(tp.begin(), tp.end());
-    l.bot_perm.assign(bp.begin(), bp.end());
+    l.set_top_perm(tp.data(), tp.size());
+    l.set_bot_perm(bp.data(), bp.size());
   }
 
   // EPS1 counting sub-scheme: per fragment, aggregate the number of
@@ -98,33 +128,21 @@ MarkerOutput assemble(const WeightedGraph& g, ReferenceResult ref,
       return t.dfs_index(a) > t.dfs_index(b);  // children before parents
     });
     for (NodeId v : members) {
+      const auto e = out.labels[v].endp()[j];
       std::uint32_t cnt =
-          out.labels[v].endp[j] == EndpEntry::kUp ||
-                  out.labels[v].endp[j] == EndpEntry::kDown
-              ? 1
-              : 0;
+          e == EndpEntry::kUp || e == EndpEntry::kDown ? 1 : 0;
       for (NodeId c : t.children(v)) {
-        if (frag.contains(c)) cnt += out.labels[c].endp_cnt[j];
+        if (frag.contains(c)) cnt += out.labels[c].endp_cnt()[j];
       }
-      out.labels[v].endp_cnt[j] = static_cast<std::uint8_t>(std::min(cnt, 2u));
+      out.labels[v].endp_cnt()[j] =
+          static_cast<std::uint8_t>(std::min(cnt, 2u));
     }
   }
 
-  // KKP baseline labels: the same base plus the full piece table.
-  out.kkp_labels.assign(n, {});
-  for (NodeId v = 0; v < n; ++v) {
-    out.kkp_labels[v].base = out.labels[v];
-    out.kkp_labels[v].pieces.assign(len, std::nullopt);
-    for (const auto& [lev, f] : h.membership(v)) {
-      const Fragment& frag = h.fragment(f);
-      Piece p;
-      p.root_id = g.id(frag.root);
-      p.level = static_cast<std::uint32_t>(lev);
-      p.min_out_w =
-          frag.has_candidate ? frag.cand_weight : Piece::kNoOutgoing;
-      out.kkp_labels[v].pieces[static_cast<std::size_t>(lev)] = p;
-    }
-  }
+  // The KKP baseline labels are NOT materialized here: kkp_label(v)
+  // builds them on demand from the hierarchy, so a marked instance no
+  // longer carries a second, Theta(log^2 n)-bits-per-node copy of the
+  // piece tables alongside the compact labels.
   return out;
 }
 

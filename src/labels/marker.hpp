@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "hierarchy/fragment.hpp"
+#include "labels/arena.hpp"
 #include "labels/labels.hpp"
 #include "mstalgo/reference_hierarchy.hpp"
 #include "partition/partitions.hpp"
@@ -23,12 +24,28 @@ struct MarkerOutput {
   std::unique_ptr<RootedTree> tree;
   std::unique_ptr<FragmentHierarchy> hierarchy;
   Partitions partitions;
+  /// Owns the stripe payload of `labels` (and of the on-demand KKP base
+  /// labels, which alias the same slices). The pristine marker copy:
+  /// simulations clone it into their own per-simulation arenas at
+  /// construction, so nothing that mutates registers ever writes through
+  /// to these labels.
+  std::shared_ptr<LabelArena> arena;
   std::vector<NodeLabels> labels;
-  std::vector<KkpLabels> kkp_labels;
   std::uint64_t schedule_rounds = 0;  ///< simulated marker time, O(n)
 
   /// Component (parent port) vector representing the tree distributively.
   std::vector<std::uint32_t> parent_ports() const;
+
+  /// Node v's KKP baseline label ([54,55]): the base label (a header copy
+  /// aliasing this marker's arena) plus the *full* per-level piece table.
+  /// Built on demand from the hierarchy — the Theta(log^2 n)-bit tables
+  /// belong in the KKP verifier's registers (that is the baseline's cost
+  /// being measured), not duplicated in every marker; the scale benches
+  /// only ever need one node's table at a time.
+  KkpLabels kkp_label(NodeId v) const;
+  /// All n KKP labels at once (the KKP verifier's initial register
+  /// payload and the classic-size test fixture).
+  std::vector<KkpLabels> kkp_label_vector() const;
 };
 
 /// Runs the construction + marker pipeline on a correct instance.

@@ -23,6 +23,12 @@ std::string verify_labels_1round(const WeightedGraph& g, NodeId v,
   const std::uint32_t deg = g.degree(v);
   const bool is_root = own_parent_port == kNoPort;
   const std::size_t len = own.string_length();
+  // Hoisted stripe views: one arena dereference per field for the whole
+  // check instead of one per element access.
+  const auto own_roots = own.roots();
+  const auto own_endp = own.endp();
+  const auto own_parents = own.parents();
+  const auto own_endp_cnt = own.endp_cnt();
 
   // --- Identity and SP (Example SP + remark) -------------------------------
   if (own.self_id != g.id(v)) return "SP: self_id differs from true identity";
@@ -44,32 +50,31 @@ std::string verify_labels_1round(const WeightedGraph& g, NodeId v,
       return "SP: root's sp_root_id differs from its identity";
     }
   }
+  // One pass over the neighbour headers gathers the SP and NumK facts;
+  // the violations are then reported in the historical priority order.
+  bool sp_disagree = false;
+  bool n_disagree = false;
+  std::uint64_t subtree_sum = 1;
   for (std::uint32_t p = 0; p < deg; ++p) {
-    if (nbr.labels(p).sp_root_id != own.sp_root_id) {
-      return "SP: neighbours disagree on the tree root identity";
+    const NodeLabels& u = nbr.labels(p);
+    sp_disagree |= u.sp_root_id != own.sp_root_id;
+    n_disagree |= u.n_claim != own.n_claim;
+    if (nbr.parent_port(p) == g.half_edge(v, p).rev_port) {
+      subtree_sum += u.subtree_count;
     }
+  }
+  if (sp_disagree) {
+    return "SP: neighbours disagree on the tree root identity";
   }
 
   // --- NumK (Example NumK) --------------------------------------------------
   if (own.n_claim == 0) return "NumK: zero node count claimed";
-  for (std::uint32_t p = 0; p < deg; ++p) {
-    if (nbr.labels(p).n_claim != own.n_claim) {
-      return "NumK: neighbours disagree on n";
-    }
+  if (n_disagree) return "NumK: neighbours disagree on n";
+  if (own.subtree_count != subtree_sum || subtree_sum > own.n_claim) {
+    return "NumK: subtree count mismatch";
   }
-  {
-    std::uint64_t sum = 1;
-    for (std::uint32_t p = 0; p < deg; ++p) {
-      if (nbr.parent_port(p) == g.half_edge(v, p).rev_port) {
-        sum += nbr.labels(p).subtree_count;
-      }
-    }
-    if (own.subtree_count != sum || sum > own.n_claim) {
-      return "NumK: subtree count mismatch";
-    }
-    if (is_root && own.subtree_count != own.n_claim) {
-      return "NumK: root subtree count differs from claimed n";
-    }
+  if (is_root && own.subtree_count != own.n_claim) {
+    return "NumK: root subtree count differs from claimed n";
   }
 
   // --- String shapes (RS1) --------------------------------------------------
@@ -77,10 +82,9 @@ std::string verify_labels_1round(const WeightedGraph& g, NodeId v,
       static_cast<std::size_t>(ceil_log2(std::max<NodeId>(own.n_claim, 2))) +
       2;
   if (len == 0 || len > max_len) return "RS1: bad string length";
-  if (own.endp.size() != len || own.parents.size() != len ||
-      own.endp_cnt.size() != len) {
-    return "RS1: string lengths differ";
-  }
+  // (The four strings cannot differ in length any more: they share one
+  // (offset, length) header in the striped-arena layout, so the historical
+  // "string lengths differ" corruption is structurally unrepresentable.)
   for (std::uint32_t p = 0; p < deg; ++p) {
     if (nbr.labels(p).string_length() != len) {
       return "RS1: neighbour string length differs";
@@ -91,30 +95,30 @@ std::string verify_labels_1round(const WeightedGraph& g, NodeId v,
   {
     bool seen_zero = false;
     for (std::size_t j = 0; j < len; ++j) {
-      if (own.roots[j] == RootsEntry::kZero) seen_zero = true;
-      if (own.roots[j] == RootsEntry::kOne && seen_zero) {
+      if (own_roots[j] == RootsEntry::kZero) seen_zero = true;
+      if (own_roots[j] == RootsEntry::kOne && seen_zero) {
         return "RS0: a 1 after a 0 in the Roots string";
       }
     }
   }
   if (is_root) {
     for (std::size_t j = 0; j < len; ++j) {
-      if (own.roots[j] == RootsEntry::kZero) {
+      if (own_roots[j] == RootsEntry::kZero) {
         return "RS2: tree root with a 0 entry";
       }
     }
-    if (own.roots[len - 1] != RootsEntry::kOne) {
+    if (own_roots[len - 1] != RootsEntry::kOne) {
       return "RS2: tree root's top entry is not 1";
     }
   }
-  if (own.roots[0] != RootsEntry::kOne) return "RS3: level-0 entry is not 1";
-  if (!is_root && own.roots[len - 1] != RootsEntry::kZero) {
+  if (own_roots[0] != RootsEntry::kOne) return "RS3: level-0 entry is not 1";
+  if (!is_root && own_roots[len - 1] != RootsEntry::kZero) {
     return "RS4: non-root top entry is not 0";
   }
   if (!is_root) {
     for (std::size_t j = 0; j < len; ++j) {
-      if (own.roots[j] == RootsEntry::kZero &&
-          parent->roots[j] == RootsEntry::kStar) {
+      if (own_roots[j] == RootsEntry::kZero &&
+          parent->roots()[j] == RootsEntry::kStar) {
         return "RS5: member of a fragment whose parent has no fragment";
       }
     }
@@ -122,51 +126,61 @@ std::string verify_labels_1round(const WeightedGraph& g, NodeId v,
 
   // --- EndP / Parents conditions EPS0, EPS2–EPS5 and coherence -------------
   for (std::size_t j = 0; j < len; ++j) {
-    const bool has_frag = own.roots[j] != RootsEntry::kStar;
-    if ((own.endp[j] == EndpEntry::kStar) == has_frag) {
+    const bool has_frag = own_roots[j] != RootsEntry::kStar;
+    if ((own_endp[j] == EndpEntry::kStar) == has_frag) {
       return "EndP: star entries disagree with Roots";
     }
-    if (own.endp[j] == EndpEntry::kUp && is_root) {
+    if (own_endp[j] == EndpEntry::kUp && is_root) {
       return "EndP: tree root claims an up candidate";
     }
   }
   if (!is_root) {
     for (std::size_t j = 0; j < len; ++j) {
-      if (own.parents[j] == 1 && parent->endp[j] != EndpEntry::kDown) {
+      if (own_parents[j] == 1 && parent->endp()[j] != EndpEntry::kDown) {
         return "EPS0: Parents bit without a down candidate at the parent";
       }
     }
   }
+  // One contiguous LevelEntry walk per tree child feeds the EPS2 marked-
+  // child counts and the EPS1 endpoint sums for every level at once,
+  // instead of re-reading each child's stripes once per level. After RS1
+  // every neighbour's string length equals len, so the walks are exactly
+  // len entries. len <= ceil_log2(n_claim) + 2 <= 34 (checked by RS1), so
+  // the kLabelLevelCap-sized stack accumulators always fit.
+  std::uint32_t marked[kLabelLevelCap] = {};
+  std::uint32_t cnt_sum[kLabelLevelCap] = {};
+  for (std::uint32_t p = 0; p < deg; ++p) {
+    if (nbr.parent_port(p) != g.half_edge(v, p).rev_port) continue;
+    const NodeLabels& c = nbr.labels(p);
+    const LevelEntry* ce = c.arena ? c.arena->levels(c.lvl_off) : nullptr;
+    for (std::size_t j = 0; j < c.string_length() && j < len; ++j) {
+      if (ce[j].parents == 1) ++marked[j];
+      if (ce[j].roots == RootsEntry::kZero) cnt_sum[j] += ce[j].endp_cnt;
+    }
+  }
+
   for (std::size_t j = 0; j < len; ++j) {
-    if (own.endp[j] == EndpEntry::kDown) {
-      std::uint32_t marked_children = 0;
-      for (std::uint32_t p = 0; p < deg; ++p) {
-        if (nbr.parent_port(p) == g.half_edge(v, p).rev_port &&
-            nbr.labels(p).parents.size() > j &&
-            nbr.labels(p).parents[j] == 1) {
-          ++marked_children;
-        }
-      }
-      if (marked_children != 1) {
+    if (own_endp[j] == EndpEntry::kDown) {
+      if (marked[j] != 1) {
         return "EPS2: down candidate without exactly one marked child";
       }
     }
-    if (own.endp[j] == EndpEntry::kUp) {
-      if (own.roots[j] != RootsEntry::kOne) {
+    if (own_endp[j] == EndpEntry::kUp) {
+      if (own_roots[j] != RootsEntry::kOne) {
         return "EPS3: up candidate at a non-root of the fragment";
       }
       for (std::size_t i = j + 1; i < len; ++i) {
-        if (own.roots[i] == RootsEntry::kOne) {
+        if (own_roots[i] == RootsEntry::kOne) {
           return "EPS3: up candidate but root at a higher level";
         }
       }
     }
-    if (own.parents[j] == 1) {
-      if (own.roots[j] == RootsEntry::kZero) {
+    if (own_parents[j] == 1) {
+      if (own_roots[j] == RootsEntry::kZero) {
         return "EPS4: Parents bit at a fragment member";
       }
       for (std::size_t i = j + 1; i < len; ++i) {
-        if (own.roots[i] == RootsEntry::kOne) {
+        if (own_roots[i] == RootsEntry::kOne) {
           return "EPS4: Parents bit but root at a higher level";
         }
       }
@@ -175,7 +189,7 @@ std::string verify_labels_1round(const WeightedGraph& g, NodeId v,
   if (!is_root) {
     bool attached = false;
     for (std::size_t j = 0; j < len; ++j) {
-      if (own.parents[j] == 1 || own.endp[j] == EndpEntry::kUp) {
+      if (own_parents[j] == 1 || own_endp[j] == EndpEntry::kUp) {
         attached = true;
       }
     }
@@ -184,22 +198,16 @@ std::string verify_labels_1round(const WeightedGraph& g, NodeId v,
 
   // --- EPS1 counting sub-scheme ---------------------------------------------
   for (std::size_t j = 0; j < len; ++j) {
-    std::uint32_t sum = is_endpoint(own.endp[j]) ? 1u : 0u;
-    for (std::uint32_t p = 0; p < deg; ++p) {
-      if (nbr.parent_port(p) != g.half_edge(v, p).rev_port) continue;
-      const NodeLabels& c = nbr.labels(p);
-      if (c.roots.size() > j && c.roots[j] == RootsEntry::kZero) {
-        sum += c.endp_cnt[j];
-      }
-    }
-    if (own.roots[j] == RootsEntry::kStar && sum != 0) {
+    const std::uint32_t sum =
+        (is_endpoint(own_endp[j]) ? 1u : 0u) + cnt_sum[j];
+    if (own_roots[j] == RootsEntry::kStar && sum != 0) {
       return "EPS1: endpoint count without a fragment";
     }
-    if (own.endp_cnt[j] != std::min(sum, 2u)) {
+    if (own_endp_cnt[j] != std::min(sum, 2u)) {
       return "EPS1: endpoint count mismatch";
     }
     if (sum > 1) return "EPS1: more than one candidate endpoint";
-    if (own.roots[j] == RootsEntry::kOne) {
+    if (own_roots[j] == RootsEntry::kOne) {
       const bool is_top_level = j + 1 == len;
       if (is_top_level ? sum != 0 : sum != 1) {
         return "EPS1: fragment root sees wrong endpoint count";
@@ -256,16 +264,16 @@ std::string verify_labels_1round(const WeightedGraph& g, NodeId v,
   if (!is_root && parent->pack != own.pack) {
     return "pieces: packing constant differs from the parent's";
   }
-  if (own.top_perm.size() > own.pack || own.bot_perm.size() > own.pack) {
+  if (own.top_perm().size() > own.pack || own.bot_perm().size() > own.pack) {
     return "pieces: more permanent pieces than the packing allows";
   }
-  for (const auto* perm : {&own.top_perm, &own.bot_perm}) {
-    for (std::size_t i = 1; i < perm->size(); ++i) {
-      if (!((*perm)[i - 1].key() < (*perm)[i].key())) {
+  for (const auto perm : {own.top_perm(), own.bot_perm()}) {
+    for (std::size_t i = 1; i < perm.size(); ++i) {
+      if (!(perm[i - 1].key() < perm[i].key())) {
         return "pieces: permanent pieces out of order";
       }
     }
-    for (const Piece& p : *perm) {
+    for (const Piece& p : perm) {
       if (p.level >= len) return "pieces: piece level out of range";
     }
   }
@@ -283,13 +291,14 @@ std::string check_pair_event(const WeightedGraph& g, NodeId v,
                              const std::optional<Piece>& theirs) {
   const std::size_t len = own.string_length();
   if (j >= len) return "pair: level out of range";
-  const bool have_frag = own.roots[j] != RootsEntry::kStar;
+  const bool have_frag = own.roots()[j] != RootsEntry::kStar;
   if (mine.has_value() != have_frag) {
     return "pair: piece presence disagrees with the Roots string";
   }
   if (mine) {
     if (mine->level != j) return "pair: piece level mismatch";
-    if (own.roots[j] == RootsEntry::kOne && mine->root_id != own.self_id) {
+    if (own.roots()[j] == RootsEntry::kOne &&
+        mine->root_id != own.self_id) {
       return "pair: fragment root identity mismatch (Claim 8.3)";
     }
   }
@@ -312,13 +321,13 @@ std::string check_pair_event(const WeightedGraph& g, NodeId v,
   const bool u_is_parent = port == own_parent_port;
   const bool u_is_child = their_parent_port == he.rev_port;
   if (u_is_parent) {
-    const bool strings_say_same = own.roots[j] == RootsEntry::kZero;
+    const bool strings_say_same = own.roots()[j] == RootsEntry::kZero;
     if (strings_say_same != same_fragment) {
       return "pair: parent fragment membership contradicts the strings";
     }
   } else if (u_is_child) {
-    const bool strings_say_same =
-        their.roots.size() > j && their.roots[j] == RootsEntry::kZero;
+    const bool strings_say_same = their.string_length() > j &&
+                                  their.roots()[j] == RootsEntry::kZero;
     if (strings_say_same != same_fragment) {
       return "pair: child fragment membership contradicts the strings";
     }
@@ -326,10 +335,10 @@ std::string check_pair_event(const WeightedGraph& g, NodeId v,
 
   // C1: if this edge is the fragment's selected candidate, it must be
   // outgoing and its weight must equal the claimed minimum.
-  const bool candidate_up = own.endp[j] == EndpEntry::kUp && u_is_parent;
-  const bool candidate_down = own.endp[j] == EndpEntry::kDown && u_is_child &&
-                              their.parents.size() > j &&
-                              their.parents[j] == 1;
+  const bool candidate_up = own.endp()[j] == EndpEntry::kUp && u_is_parent;
+  const bool candidate_down =
+      own.endp()[j] == EndpEntry::kDown && u_is_child &&
+      their.string_length() > j && their.parents()[j] == 1;
   if (candidate_up || candidate_down) {
     if (same_fragment) return "C1: selected candidate edge is not outgoing";
     if (mine->min_out_w != he.w) {

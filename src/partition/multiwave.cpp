@@ -48,7 +48,7 @@ class MultiWaveProtocol final : public Protocol<MultiWaveState> {
 
     for (std::uint32_t j = 0; j < len_; ++j) {
       const std::uint64_t bit = 1ULL << j;
-      const bool in_fragment = l.roots[j] != RootsEntry::kStar;
+      const bool in_fragment = l.roots()[j] != RootsEntry::kStar;
       if (!in_fragment) {
         // Trivially complete at this node.
         self.echoed |= bit;
@@ -59,7 +59,7 @@ class MultiWaveProtocol final : public Protocol<MultiWaveState> {
       // must have been freed (the paper's Wave_Free chain).
       bool free = true;
       for (std::uint32_t i = j; i-- > 0;) {
-        if (marker_->labels[v].roots[i] != RootsEntry::kStar) {
+        if (marker_->labels[v].roots()[i] != RootsEntry::kStar) {
           free = (self.freed & (1ULL << i)) != 0;
           break;
         }
@@ -69,7 +69,7 @@ class MultiWaveProtocol final : public Protocol<MultiWaveState> {
       if (free && (self.echoed & bit) == 0) {
         bool kids_done = true;
         tree_children([&](std::uint32_t p, NodeId u) {
-          if (marker_->labels[u].roots[j] == RootsEntry::kZero &&
+          if (marker_->labels[u].roots()[j] == RootsEntry::kZero &&
               (nbr.at_port(p).echoed & bit) == 0) {
             kids_done = false;
           }
@@ -79,7 +79,7 @@ class MultiWaveProtocol final : public Protocol<MultiWaveState> {
       // Free wave of F_j: starts at the fragment root once it echoed, and
       // flows down the fragment.
       if ((self.freed & bit) == 0) {
-        if (l.roots[j] == RootsEntry::kOne) {
+        if (l.roots()[j] == RootsEntry::kOne) {
           if (self.echoed & bit) self.freed |= bit;
         } else if (parent_port != kNoPort &&
                    (nbr.at_port(parent_port).freed & bit)) {

@@ -37,10 +37,21 @@ void KkpVerifierProtocol::step(NodeId v, KkpState& self,
            .empty();
 }
 
+std::shared_ptr<void> KkpVerifierProtocol::adopt_register_file(
+    std::vector<KkpState>& regs) {
+  return adopt_labels_into_pooled_arena(
+      regs, [](KkpState& s) -> NodeLabels& { return s.labels.base; });
+}
+
 std::size_t KkpVerifierProtocol::state_bits(const KkpState& s,
                                             NodeId v) const {
   return bits_for_values(g_->degree(v) + 2) +
          kkp_label_bits(s.labels, g_->n(), max_weight_, g_->degree(v)) + 1;
+}
+
+std::size_t KkpVerifierProtocol::state_phys_bytes(const KkpState& s) const {
+  return sizeof(KkpState) + s.labels.base.live_stripe_bytes() +
+         s.labels.pieces.capacity() * sizeof(std::optional<Piece>);
 }
 
 void KkpVerifierProtocol::corrupt(KkpState& s, NodeId v, Rng& rng) const {
@@ -48,7 +59,7 @@ void KkpVerifierProtocol::corrupt(KkpState& s, NodeId v, Rng& rng) const {
   switch (rng.below(4)) {
     case 0:
       if (len > 0) {
-        s.labels.base.roots[rng.below(len)] =
+        s.labels.base.roots()[rng.below(len)] =
             static_cast<RootsEntry>(rng.below(3));
       }
       break;
@@ -78,7 +89,7 @@ std::vector<KkpState> KkpVerifierProtocol::initial_states(
   const auto ports = marker.parent_ports();
   for (NodeId v = 0; v < g_->n(); ++v) {
     init[v].parent_port = ports[v];
-    init[v].labels = marker.kkp_labels[v];
+    init[v].labels = marker.kkp_label(v);
   }
   return init;
 }

@@ -39,7 +39,14 @@ class KkpVerifierProtocol final : public Protocol<KkpState> {
     return self.alarm != before;
   }
 
+  /// Per-simulation label storage for the *base* labels (the stripe-view
+  /// part of KkpLabels); the per-level piece tables are heap vectors and
+  /// deep-copy on their own.
+  std::shared_ptr<void> adopt_register_file(
+      std::vector<KkpState>& regs) override;
+
   std::size_t state_bits(const KkpState& s, NodeId v) const override;
+  std::size_t state_phys_bytes(const KkpState& s) const override;
   bool alarmed(const KkpState& s) const override { return s.alarm; }
   void corrupt(KkpState& s, NodeId v, Rng& rng) const override;
 

@@ -71,9 +71,36 @@ class Synchronizer final : public Protocol<SynchronizedState<Inner>> {
     return self.pulse != before;
   }
 
+  /// Forwarded arena hooks: a synchronized register buffers TWO inner
+  /// registers, and if the inner protocol's states hold stripe views
+  /// (striped-arena labels), both copies must be rebound onto this
+  /// simulation's private storage — otherwise cur/prev would keep aliasing
+  /// the install source (the marker's pristine labels) and every write
+  /// would leak through. The inner hook expects a flat vector, so the two
+  /// slots are packed, cloned, and unpacked around one inner call.
+  std::shared_ptr<void> adopt_register_file(std::vector<State>& regs) override {
+    std::vector<Inner> flat;
+    flat.reserve(2 * regs.size());
+    for (const State& s : regs) {
+      flat.push_back(s.cur);
+      flat.push_back(s.prev);
+    }
+    auto token = inner_->adopt_register_file(flat);
+    for (std::size_t i = 0; i < regs.size(); ++i) {
+      regs[i].cur = flat[2 * i];
+      regs[i].prev = flat[2 * i + 1];
+    }
+    return token;
+  }
+
   std::size_t state_bits(const State& s, NodeId v) const override {
     // Pulse counters are bounded by the wrapped protocol's running time.
     return 2 * inner_->state_bits(s.cur, v) + 32;
+  }
+
+  std::size_t state_phys_bytes(const State& s) const override {
+    return sizeof(State) - 2 * sizeof(Inner) +
+           inner_->state_phys_bytes(s.cur) + inner_->state_phys_bytes(s.prev);
   }
 
  private:

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <type_traits>
 #include <vector>
@@ -68,15 +69,39 @@ class NeighborReader {
 /// const calls. Protocols that follow the locality rule and keep `step`
 /// free of unsynchronized member writes satisfy the contract for free.
 ///
-/// Register layout contract: performance-sensitive protocols should keep
-/// `State` one contiguous, trivially-copyable block — fixed-capacity
-/// inline vectors (util/inline_vec.hpp) instead of heap containers, and
-/// only by-value members. The register file then owns all state directly
-/// (no pointers to chase, nothing to free), seeding or copying a register
-/// is a single flat memcpy, and steady-state sync rounds perform zero heap
-/// allocations (asserted for the verifier by tests/test_alloc_free.cpp).
-/// VerifierState static_asserts this contract; new register types should
-/// do the same.
+/// Register layout contract (the striped-arena register file): a `State`
+/// is one contiguous, trivially-copyable block — by-value scalars, small
+/// fixed-capacity inline vectors (util/inline_vec.hpp), and for
+/// variable-length payload *stripe views*: (offset, length) headers into a
+/// per-simulation LabelArena sized to the live content (labels/arena.hpp),
+/// never heap containers. Copying a register is still a single flat
+/// memcpy, but the memcpy transfers the header only — every copy of one
+/// node's register aliases that node's single stripe payload. The
+/// coherence rules that make this sound:
+///  * step functions never write stripe content (it is step-invariant
+///    proof payload); they read it through borrowed views and write only
+///    the inline block, so front/back buffer copies sharing a payload can
+///    never disagree about it;
+///  * external writes to stripe content (fault injection, tests) go
+///    through Simulation::state(v)/states(), whose coherence demotion and
+///    queue re-enabling already treat any such access as a full register
+///    write — the shared payload makes the write visible through every
+///    buffered copy at once, which the demotion accounts for;
+///  * a register file adopted by a Simulation owns its payload privately:
+///    the engine calls adopt_register_file() at construction and the
+///    protocol clones the stripes into a pooled per-simulation arena, so
+///    two simulations (or a simulation and the pristine marker labels)
+///    never share mutable payload;
+///  * the generic trivially-copyable byte-compare in step_changed sees the
+///    header only — exact for protocols honouring the first rule; a
+///    protocol whose step *does* write stripe content must override
+///    step_changed with a stripe-aware test.
+/// Steady-state sync rounds and async units perform zero heap allocations
+/// (asserted for the verifier by tests/test_alloc_free.cpp): views are
+/// borrowed, arena slabs are pooled and recycled across installs, and
+/// nothing on the per-activation path touches the allocator. VerifierState
+/// static_asserts the trivially-copyable half of the contract; new
+/// register types should do the same.
 template <typename State>
 class Protocol {
  public:
@@ -187,8 +212,34 @@ class Protocol {
     }
   }
 
+  /// Takes ownership of a freshly installed register file on behalf of one
+  /// Simulation. Protocols whose registers hold stripe views into shared
+  /// storage (the striped-arena label layout) override this to rebind
+  /// `regs` onto simulation-private storage — clone every stripe into a
+  /// pooled arena and return it as the opaque ownership token, which the
+  /// Simulation keeps alive for its whole lifetime (and releases back to
+  /// the pool at destruction). Called exactly once, from the Simulation
+  /// constructor, before any accounting touches the states. Default: the
+  /// registers own everything by value already — nothing to do.
+  virtual std::shared_ptr<void> adopt_register_file(
+      std::vector<State>& /*regs*/) {
+    return nullptr;
+  }
+
   /// Semantic size of the state in bits (see DESIGN.md section 1).
   virtual std::size_t state_bits(const State& s, NodeId v) const = 0;
+
+  /// Physical size of one register in bytes: the trivially-copyable block
+  /// plus any live out-of-line payload (striped-arena label stripes).
+  /// Distinct from state_bits — this is what the register actually costs
+  /// in memory, the quantity the compact-layout work drives down, while
+  /// state_bits is the paper's semantic measure. A register's physical
+  /// size is fixed at install time (steps never grow stripes), so the
+  /// engine records its peak in the construction-time accounting pass
+  /// only. Default: the block itself.
+  virtual std::size_t state_phys_bytes(const State& /*s*/) const {
+    return sizeof(State);
+  }
 
   /// Whether the node is currently raising an alarm ("output no").
   virtual bool alarmed(const State& /*s*/) const { return false; }

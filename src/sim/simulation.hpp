@@ -48,6 +48,14 @@ struct SimulationStats {
   std::optional<std::uint64_t> first_alarm;  ///< earliest alarm since epoch
   std::uint64_t alarmed_nodes = 0;  ///< nodes alarmed since epoch
   std::size_t peak_bits = 0;        ///< running max register size, in bits
+  /// Physical bytes of the largest register: the trivially-copyable block
+  /// plus its live stripe payload (Protocol::state_phys_bytes). A
+  /// register's physical size is fixed at install (steps never grow
+  /// stripes; corruption can only shrink live lengths), so this is
+  /// recorded by the construction-time accounting pass — under the padded
+  /// inline layout it could only ever see sizeof(State); the striped arena
+  /// makes it report the live footprint.
+  std::size_t peak_register_bytes = 0;
 
   /// Time units from the last epoch (construction or alarm-history reset)
   /// to the first alarm — the detection latency of the current experiment.
@@ -132,6 +140,9 @@ class Simulation {
         enabled_(g.n(), 0),
         last_step_(g.n(), kNever32),
         pool_(pool) {
+    // Rebind stripe-view registers onto simulation-private storage before
+    // anything reads them; the token pins that storage for our lifetime.
+    state_backing_ = proto.adopt_register_file(regs_);
     compute_shards();
     record_pass(/*stamp=*/0);
   }
@@ -425,6 +436,10 @@ class Simulation {
   struct SweepAcc {
     std::size_t peak_bits = 0;
     std::uint64_t newly_alarmed = 0;
+    /// Physical register footprint; filled by record_pass only (round
+    /// sweeps leave it 0 — a register's physical size cannot grow after
+    /// install, so the construction pass already saw the peak).
+    std::size_t peak_phys_bytes = 0;
   };
 
   /// Recomputes the contiguous shard boundaries for the current pool:
@@ -586,6 +601,9 @@ class Simulation {
 
   void fold(const SweepAcc& acc, std::uint64_t stamp) {
     if (acc.peak_bits > stats_.peak_bits) stats_.peak_bits = acc.peak_bits;
+    if (acc.peak_phys_bytes > stats_.peak_register_bytes) {
+      stats_.peak_register_bytes = acc.peak_phys_bytes;
+    }
     if (acc.newly_alarmed > 0) {
       stats_.alarmed_nodes += acc.newly_alarmed;
       if (!stats_.first_alarm) stats_.first_alarm = stamp;
@@ -605,6 +623,8 @@ class Simulation {
         SweepAcc acc;
         for (NodeId v = shard_starts_[s]; v < shard_starts_[s + 1]; ++v) {
           record_state(v, regs_[v], stamp, acc);
+          const std::size_t pb = proto_->state_phys_bytes(regs_[v]);
+          if (pb > acc.peak_phys_bytes) acc.peak_phys_bytes = pb;
         }
         shard_accs_[s] = acc;
       });
@@ -613,6 +633,8 @@ class Simulation {
       SweepAcc acc;
       for (NodeId v = 0; v < g_->n(); ++v) {
         record_state(v, regs_[v], stamp, acc);
+        const std::size_t pb = proto_->state_phys_bytes(regs_[v]);
+        if (pb > acc.peak_phys_bytes) acc.peak_phys_bytes = pb;
       }
       fold(acc, stamp);
     }
@@ -627,6 +649,10 @@ class Simulation {
   /// node (a quiescent drain writes nothing), and at construction (the
   /// back buffer starts value-initialized). Gates step_into_coherent.
   bool back_coherent_ = false;
+  /// Opaque ownership token from Protocol::adopt_register_file — the
+  /// per-simulation arena behind stripe-view registers. Declared before
+  /// the register vectors so it is destroyed after them.
+  std::shared_ptr<void> state_backing_;
   std::vector<State> regs_;
   std::vector<State> scratch_;
   std::vector<std::uint64_t> alarm_time_;  ///< kNever = not alarmed

@@ -141,4 +141,16 @@ bool BenchJson::flush(const std::string& path) const {
   return out.good();
 }
 
+std::vector<std::uint64_t> bench_ladder(std::uint64_t base,
+                                        std::uint64_t factor,
+                                        std::uint64_t max_n) {
+  std::vector<std::uint64_t> sizes;
+  if (max_n == 0) return sizes;
+  for (std::uint64_t nn = base; nn <= max_n; nn *= factor) {
+    sizes.push_back(nn);
+  }
+  if (sizes.empty() || sizes.back() != max_n) sizes.push_back(max_n);
+  return sizes;
+}
+
 }  // namespace ssmst

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace ssmst {
 
@@ -18,6 +19,14 @@ std::string arg_value(int argc, char** argv, const std::string& key,
                       const std::string& fallback = "");
 std::uint64_t arg_u64(int argc, char** argv, const std::string& key,
                       std::uint64_t fallback);
+
+/// Geometric size ladder for the benches' scale sections: base, base *
+/// factor, ... while <= max_n, always ending exactly at max_n (so e.g. a
+/// --max-n=2^22 run gets its own row instead of stopping at the last full
+/// rung). Empty when max_n is 0.
+std::vector<std::uint64_t> bench_ladder(std::uint64_t base,
+                                        std::uint64_t factor,
+                                        std::uint64_t max_n);
 
 /// Collects benchmark records and merges them into a flat JSON file:
 ///

@@ -84,7 +84,7 @@ std::optional<NodeId> VerifierHarness::tamper_loadbearing_piece(
     // one closed neighbourhood — the sparse-detection scenario.
     const auto& labels = sim_->cstate(x).labels;
     for (int which = 0; which < 2; ++which) {
-      const auto& perm = which == 0 ? labels.top_perm : labels.bot_perm;
+      const auto perm = which == 0 ? labels.top_perm() : labels.bot_perm();
       const auto& part_nodes =
           which == 0 ? parts.top_parts[parts.top_part_of[x]].nodes
                      : parts.bot_parts[parts.bot_part_of[x]].nodes;
@@ -93,7 +93,7 @@ std::optional<NodeId> VerifierHarness::tamper_loadbearing_piece(
         if (p.min_out_w == Piece::kNoOutgoing) continue;  // the top fragment
         if (!intersects(fragment_of_piece(p), part_nodes)) continue;
         auto& mut = sim_->state(x).labels;
-        (which == 0 ? mut.top_perm : mut.bot_perm)[pi].min_out_w +=
+        (which == 0 ? mut.top_perm() : mut.bot_perm())[pi].min_out_w +=
             1 + salt % 5;
         return x;
       }
@@ -152,6 +152,8 @@ ScaleProbeResult run_scale_probe(VerifierHarness& h,
   out.ok = true;
   out.detect_rounds = res.detection_time;
   out.peak_state_bits = res.sim.peak_bits;
+  out.register_file_bytes_per_node =
+      res.sim.peak_register_bytes + sizeof(VerifierState);
   return out;
 }
 

@@ -86,6 +86,11 @@ struct ScaleProbeResult {
   double items_per_s = 0;   ///< steady-state sweep throughput (warm rounds)
   std::uint64_t detect_rounds = 0;
   std::size_t peak_state_bits = 0;
+  /// Physical register-file cost per node: both double-buffer headers plus
+  /// the (shared, counted once) live label stripes — the bytes the compact
+  /// arena layout drives down (SimulationStats::peak_register_bytes is one
+  /// header + stripes; the second buffered header is added here).
+  std::size_t register_file_bytes_per_node = 0;
 };
 
 /// Drives `h` through the scale experiment: `warm_rounds` synchronous

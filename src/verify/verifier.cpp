@@ -65,7 +65,7 @@ bool VerifierProtocol::piece_is_mine(const VerifierState& self, int which,
   if (which == 0) {
     // Top trains: membership is locally computable (Claim 6.3 — at most one
     // top fragment per level intersects the part).
-    return self.labels.roots[piece.level] != RootsEntry::kStar &&
+    return self.labels.roots()[piece.level] != RootsEntry::kStar &&
            piece.level >= self.labels.delim;
   }
   return bc_flag;
@@ -132,7 +132,7 @@ void VerifierProtocol::run_trains(NodeId v, VerifierState& self,
     const bool is_part_root = proot == l.self_id;
     const std::uint32_t claim =
         which == 0 ? l.top_piece_count : l.bot_piece_count;
-    const auto& perm = which == 0 ? l.top_perm : l.bot_perm;
+    const auto perm = which == 0 ? l.top_perm() : l.bot_perm();
 
     // Same-part children: tree children sharing my part root.
     auto for_part_children = [&](auto&& fn) {
@@ -285,10 +285,11 @@ void VerifierProtocol::run_trains(NodeId v, VerifierState& self,
             const auto len = l.string_length();
             bool flag = false;
             if (pc.level < len) {
-              if (pt->bc_flag && l.roots[pc.level] == RootsEntry::kZero) {
+              const auto roots = l.roots();
+              if (pt->bc_flag && roots[pc.level] == RootsEntry::kZero) {
                 flag = true;
               }
-              if (l.roots[pc.level] == RootsEntry::kOne &&
+              if (roots[pc.level] == RootsEntry::kOne &&
                   pc.root_id == l.self_id) {
                 flag = true;
               }
@@ -396,13 +397,14 @@ void VerifierProtocol::run_show(NodeId v, VerifierState& self,
     }
     if (sh.filled) {
       // Consistency at fill time (Claims 8.2/8.3).
-      const bool strings_say = l.roots[sh.level] != RootsEntry::kStar;
+      const auto roots = l.roots();
+      const bool strings_say = roots[sh.level] != RootsEntry::kStar;
       if (sh.present != strings_say) {
         raise(v, self, AlarmReason::kShowFill,
               "piece presence contradicts the Roots string");
         return;
       }
-      if (sh.present && l.roots[sh.level] == RootsEntry::kOne &&
+      if (sh.present && roots[sh.level] == RootsEntry::kOne &&
           sh.piece.root_id != l.self_id) {
         raise(v, self, AlarmReason::kShowFill,
               "fragment root identity mismatch");
@@ -567,31 +569,29 @@ void VerifierProtocol::corrupt(VerifierState& s, NodeId v, Rng& rng) const {
     switch (rng.below(10)) {
       case 0:
         if (len > 0) {
-          s.labels.roots[rng.below(len)] =
+          s.labels.roots()[rng.below(len)] =
               static_cast<RootsEntry>(rng.below(3));
         }
         break;
       case 1:
         if (len > 0) {
-          s.labels.endp[rng.below(len)] =
+          s.labels.endp()[rng.below(len)] =
               static_cast<EndpEntry>(rng.below(4));
         }
         break;
       case 2:
         if (len > 0) {
-          s.labels.parents[rng.below(len)] ^= 1;
+          s.labels.parents()[rng.below(len)] ^= 1;
         }
         break;
       case 3:
-        if (!s.labels.top_perm.empty()) {
-          Piece& p = s.labels.top_perm[rng.below(s.labels.top_perm.size())];
-          p.min_out_w = rng.below(1 << 20);
+        if (const auto perm = s.labels.top_perm(); !perm.empty()) {
+          perm[rng.below(perm.size())].min_out_w = rng.below(1 << 20);
         }
         break;
       case 4:
-        if (!s.labels.bot_perm.empty()) {
-          Piece& p = s.labels.bot_perm[rng.below(s.labels.bot_perm.size())];
-          p.root_id = rng.below(1 << 16);
+        if (const auto perm = s.labels.bot_perm(); !perm.empty()) {
+          perm[rng.below(perm.size())].root_id = rng.below(1 << 16);
         }
         break;
       case 5:
@@ -631,9 +631,17 @@ std::vector<VerifierState> VerifierProtocol::initial_states(
   const auto ports = marker.parent_ports();
   for (NodeId v = 0; v < n; ++v) {
     init[v].parent_port = ports[v];
+    // Header copy: aliases the marker's arena until a simulation adopts
+    // (and clones) the file.
     init[v].labels = marker.labels[v];
   }
   return init;
+}
+
+std::shared_ptr<void> VerifierProtocol::adopt_register_file(
+    std::vector<VerifierState>& regs) {
+  return adopt_labels_into_pooled_arena(
+      regs, [](VerifierState& s) -> NodeLabels& { return s.labels; });
 }
 
 }  // namespace ssmst

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -117,9 +118,12 @@ struct VerifierState {
   friend bool operator==(const VerifierState&, const VerifierState&) = default;
 };
 
-// The flat-register contract (see sim/protocol.hpp): the verifier register
-// is one contiguous trivially-copyable block, so seeding/copying a register
-// is a flat memcpy and steady-state sync rounds never touch the allocator.
+// The striped-arena register contract (see sim/protocol.hpp): the verifier
+// register is one contiguous trivially-copyable block whose label payload
+// is a stripe view into the simulation's arena, so seeding/copying a
+// register is a flat header memcpy and steady-state sync rounds never
+// touch the allocator. The label stripes themselves live once per
+// simulation (adopt_register_file clones them in at construction).
 static_assert(std::is_trivially_copyable_v<VerifierState>);
 
 /// Tuning knobs; defaults are calibrated by the test-suite so that correct
@@ -135,7 +139,8 @@ struct VerifierConfig {
   std::uint32_t ask_budget_factor = 16;   ///< ask timeout factor
   /// Pieces stored per node when the harness marks the instance (>= 2);
   /// larger packs shorten the trains (the memory-for-time extension).
-  /// Capped at kLabelPackCap by the flat register layout.
+  /// Still capped at kLabelPackCap — the arena could store more, but the
+  /// ablation suite's historical axis is kept stable.
   std::uint32_t pack = 2;
   /// Sync-round shard width for VerifierHarness (1 = serial). Applied at
   /// harness construction, so even the construction-time accounting pass
@@ -192,14 +197,29 @@ class VerifierProtocol final : public Protocol<VerifierState> {
     return true;
   }
 
+  /// Per-simulation label storage: clones every register's label stripes
+  /// into a pooled arena owned by the adopting simulation, so the marker's
+  /// pristine labels (and any other simulation's) are never written
+  /// through by this simulation's faults.
+  std::shared_ptr<void> adopt_register_file(
+      std::vector<VerifierState>& regs) override;
+
   std::size_t state_bits(const VerifierState& s, NodeId v) const override;
+  /// Physical register footprint: header block + live label stripes.
+  std::size_t state_phys_bytes(const VerifierState& s) const override {
+    return sizeof(VerifierState) + s.labels.live_stripe_bytes();
+  }
   bool alarmed(const VerifierState& s) const override {
     return s.alarm != AlarmReason::kNone;
   }
   void corrupt(VerifierState& s, NodeId v, Rng& rng) const override;
 
   /// The legal initial configuration produced by the marker: labels
-  /// installed, trains at cycle start, timers zero.
+  /// installed, trains at cycle start, timers zero. The returned states'
+  /// labels alias the *marker's* arena — a zero-copy install; the
+  /// simulation that adopts them clones the payload into its own arena
+  /// (adopt_register_file), so the marker must stay alive only until
+  /// construction.
   std::vector<VerifierState> initial_states(const MarkerOutput& marker) const;
 
   const VerifierConfig& config() const { return cfg_; }

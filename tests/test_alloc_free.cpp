@@ -180,6 +180,13 @@ TEST(AllocFree, SteadyStateAsyncUnitsAllocateNothing) {
 TEST(AllocFree, RegistersAreTriviallyCopyable) {
   static_assert(std::is_trivially_copyable_v<NodeLabels>);
   static_assert(std::is_trivially_copyable_v<VerifierState>);
+  // Compact-header ceilings: the striped-arena layout keeps the label
+  // header near 100 B (vs the 640 B padded inline block it replaced) and
+  // the whole verifier register around 472 B (vs 1008 B). Growing past
+  // these bounds means payload crept back into the header — take it to
+  // the stripes instead.
+  static_assert(sizeof(NodeLabels) <= 112);
+  static_assert(sizeof(VerifierState) <= 512);
   SUCCEED();
 }
 

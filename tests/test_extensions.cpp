@@ -17,8 +17,8 @@ TEST_P(PackSweep, MarkerValidAndVerifierQuiet) {
   auto m = make_labels(g, pack);
   EXPECT_EQ(validate_partitions(*m.hierarchy, m.partitions), "");
   for (NodeId v = 0; v < g.n(); ++v) {
-    EXPECT_LE(m.labels[v].top_perm.size(), pack);
-    EXPECT_LE(m.labels[v].bot_perm.size(), pack);
+    EXPECT_LE(m.labels[v].top_perm().size(), pack);
+    EXPECT_LE(m.labels[v].bot_perm().size(), pack);
     EXPECT_EQ(m.labels[v].pack, pack);
   }
   VerifierConfig cfg;
@@ -88,20 +88,20 @@ TEST_P(CorruptionSweep, Detected) {
     auto& l = h.sim().state(v).labels;
     switch (kind) {
       case CorruptionKind::kRootsEntry:
-        if (l.roots.size() > 1 && l.roots[1] == RootsEntry::kZero) {
-          l.roots[1] = RootsEntry::kOne;
+        if (l.roots().size() > 1 && l.roots()[1] == RootsEntry::kZero) {
+          l.roots()[1] = RootsEntry::kOne;
           victim = v;
         }
         break;
       case CorruptionKind::kEndpEntry:
-        if (l.endp[0] == EndpEntry::kUp) {
-          l.endp[0] = EndpEntry::kNone;  // erase the candidate endpoint
+        if (l.endp()[0] == EndpEntry::kUp) {
+          l.endp()[0] = EndpEntry::kNone;  // erase the candidate endpoint
           victim = v;
         }
         break;
       case CorruptionKind::kParentsBit:
-        if (!l.parents.empty() && l.parents[0] == 0) {
-          l.parents[0] = 1;
+        if (!l.parents().empty() && l.parents()[0] == 0) {
+          l.parents()[0] = 1;
           victim = v;
         }
         break;

@@ -102,7 +102,7 @@ TEST(Marker, KkpLabelBitsQuadraticInLogN) {
     std::size_t ours = 0, kkp = 0;
     for (NodeId v = 0; v < g.n(); ++v) {
       ours = std::max(ours, label_bits(m.labels[v], n, maxw, g.degree(v)));
-      kkp = std::max(kkp, kkp_label_bits(m.kkp_labels[v], n, maxw,
+      kkp = std::max(kkp, kkp_label_bits(m.kkp_label(v), n, maxw,
                                          g.degree(v)));
     }
     const double ratio = static_cast<double>(kkp) / static_cast<double>(ours);
@@ -133,21 +133,21 @@ TEST(Mutations, EveryStringViolationDetected) {
       {"RS3 level0 not one",
        [](std::vector<NodeLabels>& l, std::vector<std::uint32_t>&,
           const RootedTree& t) {
-         l[some_non_root(t)].roots[0] = RootsEntry::kStar;
+         l[some_non_root(t)].roots()[0] = RootsEntry::kStar;
        }},
       {"RS4 non-root top entry",
        [](std::vector<NodeLabels>& l, std::vector<std::uint32_t>&,
           const RootedTree& t) {
-         auto& r = l[some_non_root(t)].roots;
+         auto r = l[some_non_root(t)].roots();
          r.back() = RootsEntry::kOne;
        }},
       {"RS2 root with zero",
        [](std::vector<NodeLabels>& l, std::vector<std::uint32_t>&,
-          const RootedTree& t) { l[t.root()].roots.back() = RootsEntry::kZero; }},
+          const RootedTree& t) { l[t.root()].roots().back() = RootsEntry::kZero; }},
       {"RS0 one after zero",
        [](std::vector<NodeLabels>& l, std::vector<std::uint32_t>&,
           const RootedTree& t) {
-         auto& r = l[some_non_root(t)].roots;
+         auto r = l[some_non_root(t)].roots();
          if (r.size() >= 3) {
            r[1] = RootsEntry::kZero;
            r[2] = RootsEntry::kOne;
@@ -156,16 +156,16 @@ TEST(Mutations, EveryStringViolationDetected) {
       {"EndP star mismatch",
        [](std::vector<NodeLabels>& l, std::vector<std::uint32_t>&,
           const RootedTree& t) {
-         l[some_non_root(t)].endp[0] = EndpEntry::kStar;
+         l[some_non_root(t)].endp()[0] = EndpEntry::kStar;
        }},
       {"EPS5 detached node",
        [](std::vector<NodeLabels>& l, std::vector<std::uint32_t>&,
           const RootedTree& t) {
          const NodeId v = some_non_root(t);
-         for (auto& e : l[v].endp) {
+         for (auto& e : l[v].endp()) {
            if (e == EndpEntry::kUp) e = EndpEntry::kNone;
          }
-         for (auto& b : l[v].parents) b = 0;
+         for (auto& b : l[v].parents()) b = 0;
        }},
       {"SP wrong distance",
        [](std::vector<NodeLabels>& l, std::vector<std::uint32_t>&,
@@ -186,9 +186,9 @@ TEST(Mutations, EveryStringViolationDetected) {
           const RootedTree& t) {
          // Claim an extra endpoint at some node that has none at level 1.
          for (NodeId v = 0; v < l.size(); ++v) {
-           if (v != t.root() && l[v].endp.size() > 1 &&
-               l[v].endp[1] == EndpEntry::kNone) {
-             l[v].endp[1] = EndpEntry::kUp;
+           if (v != t.root() && l[v].endp().size() > 1 &&
+               l[v].endp()[1] == EndpEntry::kNone) {
+             l[v].endp()[1] = EndpEntry::kUp;
              return;
            }
          }
@@ -259,7 +259,7 @@ std::string check_kkp_all(const WeightedGraph& g, const MarkerOutput& m,
 TEST(Kkp, AcceptsCorrectInstances) {
   for (const auto& [name, g] : gen::standard_suite(909)) {
     auto m = make_labels(g);
-    EXPECT_EQ(check_kkp_all(g, m, m.kkp_labels), "") << name;
+    EXPECT_EQ(check_kkp_all(g, m, m.kkp_label_vector()), "") << name;
   }
 }
 
@@ -269,14 +269,14 @@ TEST(Kkp, RejectsNonMstTree) {
   std::vector<bool> bad;
   ASSERT_TRUE(make_non_mst_spanning_tree(g, bad));
   auto m = make_labels_for_tree(g, bad);
-  EXPECT_NE(check_kkp_all(g, m, m.kkp_labels), "");
+  EXPECT_NE(check_kkp_all(g, m, m.kkp_label_vector()), "");
 }
 
 TEST(Kkp, RejectsTamperedPieceWeight) {
   Rng rng(8);
   auto g = gen::random_connected(50, 40, rng);
   auto m = make_labels(g);
-  auto kkp = m.kkp_labels;
+  auto kkp = m.kkp_label_vector();
   for (NodeId v = 0; v < g.n(); ++v) {
     for (auto& p : kkp[v].pieces) {
       if (p && p->min_out_w != Piece::kNoOutgoing) {
@@ -293,7 +293,7 @@ TEST(Kkp, RejectsTamperedFragmentId) {
   Rng rng(9);
   auto g = gen::random_connected(50, 40, rng);
   auto m = make_labels(g);
-  auto kkp = m.kkp_labels;
+  auto kkp = m.kkp_label_vector();
   // Change one node's fragment identifier at some shared level.
   for (NodeId v = 0; v < g.n(); ++v) {
     for (auto& p : kkp[v].pieces) {
@@ -331,7 +331,7 @@ TEST(BitSizePins, LabelAndStateBitsUnchangedByFlatLayout) {
     st_sum += sb;
     lab_max = std::max(lab_max, lb);
     st_max = std::max(st_max, sb);
-    kkp_sum += kkp_label_bits(m.kkp_labels[v], g.n(), maxw, g.degree(v));
+    kkp_sum += kkp_label_bits(m.kkp_label(v), g.n(), maxw, g.degree(v));
   }
   EXPECT_EQ(lab_sum, 9584u);
   EXPECT_EQ(lab_max, 190u);
@@ -367,21 +367,33 @@ TEST(BitSizePins, StarAndPathFamilies) {
   }
 }
 
-TEST(BitSizePins, BitsCostContentNotCapacity) {
-  // Two labels with equal content but different mutation histories (and
-  // hence different stale bytes past the live prefix) must report the same
-  // size — and compare equal.
+TEST(BitSizePins, BitsCostContentNotStorage) {
+  // Two labels with equal content but different storage coordinates — one
+  // in the marker's arena, one cloned into a fresh arena at a different
+  // offset (with another label interleaved before it) — must report the
+  // same size and compare equal: label_bits and operator== cost/compare
+  // the live content, never the in-memory representation.
   Rng rng(9);
   auto g = gen::random_connected(16, 8, rng);
   auto m = make_labels(g, 2);
-  NodeLabels a = m.labels[3];
-  NodeLabels b = a;
-  b.roots.push_back(RootsEntry::kOne);  // grow, then shrink back
-  b.roots.resize(a.roots.size());
+  const NodeLabels& a = m.labels[3];
+  auto arena = LabelArenaPool::instance().acquire();
+  NodeLabels pad;
+  pad.clone_from(m.labels[7], *arena);  // shift the offsets
+  NodeLabels b;
+  b.clone_from(a, *arena);
+  ASSERT_NE(a.arena, b.arena);
+  ASSERT_NE(a.lvl_off, b.lvl_off);
   Weight maxw = 0;
   for (const Edge& e : g.edges()) maxw = std::max(maxw, e.w);
   EXPECT_EQ(label_bits(a, g.n(), maxw, 3), label_bits(b, g.n(), maxw, 3));
   EXPECT_TRUE(a == b);
+  // Mutating the clone must not write through to the original.
+  const RootsEntry orig = a.roots()[0];
+  b.roots()[0] = orig == RootsEntry::kOne ? RootsEntry::kStar
+                                          : RootsEntry::kOne;
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(m.labels[3].roots()[0], orig);
 }
 
 }  // namespace

@@ -257,6 +257,16 @@ class ForceSeededVerifier final : public Protocol<VerifierState> {
     inner_.step(v, self, nbr, time);
   }
   bool rewrites_register() const override { return false; }
+  // The arena hooks must match the real protocol's, or the per-simulation
+  // label storage (and the peak_register_bytes stat) would diverge from
+  // the zero-copy sim this one is compared against.
+  std::shared_ptr<void> adopt_register_file(
+      std::vector<VerifierState>& regs) override {
+    return inner_.adopt_register_file(regs);
+  }
+  std::size_t state_phys_bytes(const VerifierState& s) const override {
+    return inner_.state_phys_bytes(s);
+  }
   std::size_t state_bits(const VerifierState& s, NodeId v) const override {
     return inner_.state_bits(s, v);
   }

@@ -122,8 +122,8 @@ TEST(Verifier, CoordinatedEmptyTrainsCaughtByTimeout) {
   VerifierHarness h(g, cfg, 37);
   for (NodeId v = 0; v < g.n(); ++v) {
     auto& st = h.sim().state(v);
-    st.labels.top_perm.clear();
-    st.labels.bot_perm.clear();
+    st.labels.set_top_perm(nullptr, 0);
+    st.labels.set_bot_perm(nullptr, 0);
     st.labels.top_piece_count = 0;
     st.labels.bot_piece_count = 0;
     st.labels.delim = 0;
