@@ -14,6 +14,14 @@
 // Shape to check: time/(Delta (log n)^3) bounded; growth with Delta at
 // most linear. --max-n caps the n sweep (CI smoke); --json= appends the
 // medians to the shared flat bench JSON.
+//
+// The multi-fault storm section tampers k load-bearing pieces at once and
+// reports the detection-latency *distribution* across seeds — min /
+// median / max land in the JSON as detect_units_min/med/max per storm
+// size, the observability the sharded parallel drain is built for. (The
+// batched span-taking inject_faults path is exercised by bench_micro's
+// BM_AsyncDrainParallel storms; here random runtime corruption would
+// alarm within the first unit, collapsing the distribution.)
 
 #include <algorithm>
 #include <cstdio>
@@ -76,6 +84,49 @@ AsyncDetect median_detect(BatchRunner& runner, const WeightedGraph& g,
               return a.units < b.units;
             });
   return xs.empty() ? AsyncDetect{0, 0} : xs[xs.size() / 2];
+}
+
+/// One multi-fault storm: quiesce, tamper up to k distinct load-bearing
+/// permanent pieces (the slow O(log^2 n) comparison-train path — random
+/// runtime corruption alarms within the first unit and would collapse the
+/// distribution to zero), measure units to the first alarm anywhere.
+/// -1 on setup failure.
+double storm_detect(const WeightedGraph& g, std::uint64_t seed,
+                    std::size_t k) {
+  VerifierConfig cfg;
+  cfg.sync_mode = false;
+  VerifierHarness h(g, cfg, seed);
+  if (h.run(64).has_value()) return -1;
+  std::vector<NodeId> victims;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto v = h.tamper_loadbearing_piece(seed * 131 + i * 7 + 1);
+    if (v && std::find(victims.begin(), victims.end(), *v) == victims.end()) {
+      victims.push_back(*v);
+    }
+  }
+  if (victims.empty()) return -1;
+  const auto res = h.measure_detection(victims, 1u << 23);
+  return res.detected ? static_cast<double>(res.detection_time) : -1;
+}
+
+/// Detection-latency distribution of `seeds` independent k-fault storms.
+struct StormDist {
+  double min = 0, med = 0, max = 0;
+};
+
+StormDist storm_distribution(BatchRunner& runner, const WeightedGraph& g,
+                             std::size_t k, std::size_t seeds) {
+  auto raw = runner.map<double>(seeds, /*sweep_seed=*/g.n() + k,
+                                [&](std::size_t i, Rng&) {
+                                  return storm_detect(g, i + 1, k);
+                                });
+  std::vector<double> xs;
+  for (double u : raw) {
+    if (u >= 0) xs.push_back(u);
+  }
+  std::sort(xs.begin(), xs.end());
+  if (xs.empty()) return {-1, -1, -1};
+  return {xs.front(), xs[xs.size() / 2], xs.back()};
 }
 
 const char* order_name(DaemonOrder o) {
@@ -159,6 +210,31 @@ int main(int argc, char** argv) {
       json.record(key, "detect_units", q.units);
       json.record(key, "activations_per_unit", q.activations_per_unit);
       json.record(key, "detect_units_legacy", legacy.units);
+    }
+    t.print();
+  }
+  std::puts(
+      "\n-- multi-fault piece storms at n = 256 (latency distribution) --");
+  {
+    // Simultaneous piece tampering at up to k distinct nodes. The latency
+    // distribution across seeds is the headline: a bigger storm pulls the
+    // whole distribution down (the first detection is a minimum over the
+    // victims' individual train latencies) while the max shows the tail a
+    // single unlucky placement still costs.
+    Table t({"faults", "detect units: min", "median", "max"});
+    Rng rng(8);
+    const NodeId n = std::min<NodeId>(256, max_n);
+    auto g = gen::random_bounded_degree(n, 4, n / 4, rng);
+    for (std::size_t k : {4u, 16u, 64u}) {
+      if (k >= g.n() / 2) break;
+      const StormDist d = storm_distribution(runner, g, k, 5);
+      t.add_row({Table::num(std::uint64_t{k}), Table::num(d.min, 0),
+                 Table::num(d.med, 0), Table::num(d.max, 0)});
+      const std::string key =
+          "detection_async/storm_k=" + std::to_string(k);
+      json.record(key, "detect_units_min", d.min);
+      json.record(key, "detect_units_med", d.med);
+      json.record(key, "detect_units_max", d.max);
     }
     t.print();
   }

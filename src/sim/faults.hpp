@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "sim/protocol.hpp"
@@ -27,18 +28,35 @@ std::vector<NodeId> inject_faults(const Protocol<State>& proto,
   return victims;
 }
 
-/// Simulation-aware fault injection: corrupts `f` random registers through
-/// state(v), which enables exactly the victims and their neighbourhoods in
-/// the activation queue (the activation-queue contract: a fault is a
-/// register write, and only its closed neighbourhood can observe it). A
-/// single fault on a big quiescent instance therefore wakes O(deg) nodes,
-/// not n — the sparse post-stabilization detection case.
+/// Batch simulation-aware fault injection: corrupts exactly the given
+/// victims, then enables all their closed neighbourhoods in one pass over
+/// the list (Simulation::mutate_registers). The enabled set is identical
+/// to per-victim state(v) calls — no blanket re-enable, no dense cutover —
+/// so a k-fault storm on a quiescent instance wakes O(sum deg) nodes, not
+/// n, and k calls' worth of bitmap bookkeeping collapses into one sweep.
+/// Victims are corrupted in list order, so callers that pick victims with
+/// the same Rng draw sequence get bit-identical registers either way.
+template <typename State>
+void inject_faults(const Protocol<State>& proto, Simulation<State>& sim,
+                   std::span<const NodeId> victims, Rng& rng) {
+  sim.mutate_registers(victims, [&](NodeId v, State& s) {
+    proto.corrupt(s, v, rng);
+  });
+}
+
+/// Simulation-aware fault injection: corrupts `f` random registers,
+/// enabling exactly the victims and their neighbourhoods in the activation
+/// queue (the activation-queue contract: a fault is a register write, and
+/// only its closed neighbourhood can observe it). A single fault on a big
+/// quiescent instance therefore wakes O(deg) nodes, not n — the sparse
+/// post-stabilization detection case. Routed through the span overload,
+/// so many-fault storms mark their neighbourhoods in one batch pass.
 template <typename State>
 std::vector<NodeId> inject_faults(const Protocol<State>& proto,
                                   Simulation<State>& sim, std::size_t f,
                                   Rng& rng) {
   auto victims = pick_fault_nodes(sim.graph().n(), f, rng);
-  for (NodeId v : victims) proto.corrupt(sim.state(v), v, rng);
+  inject_faults(proto, sim, std::span<const NodeId>(victims), rng);
   return victims;
 }
 

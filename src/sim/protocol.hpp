@@ -69,6 +69,22 @@ class NeighborReader {
 /// const calls. Protocols that follow the locality rule and keep `step`
 /// free of unsynchronized member writes satisfy the contract for free.
 ///
+/// The same contract extends to parallel *async* drains (the sharded-drain
+/// engine in sim/simulation.hpp): `step_changed` for distinct drained
+/// nodes may run concurrently, but only for nodes that are pairwise
+/// NON-adjacent — the engine's conflict epochs guarantee no activation
+/// ever reads a neighbour register that a concurrent activation is
+/// writing, so in-place stepping needs no per-register synchronization
+/// beyond the locality rule. What a protocol must still guarantee:
+///  * `step_changed` must not mutate protocol-object or global state
+///    without internal synchronization (same as `step` above); mutexed
+///    side channels must tolerate unspecified append order *within one
+///    drained unit* (the epoch interleaving is scheduling-dependent even
+///    though the register outcome is not).
+///  * The default `step_changed` (snapshot + step + compare) composes with
+///    this automatically; overrides that report "changed" from internal
+///    caches must make those caches per-node.
+///
 /// Register layout contract (the striped-arena register file): a `State`
 /// is one contiguous, trivially-copyable block — by-value scalars, small
 /// fixed-capacity inline vectors (util/inline_vec.hpp), and for

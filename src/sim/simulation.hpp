@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sim/protocol.hpp"
@@ -23,6 +24,19 @@ enum class DaemonOrder {
   kAdversarial, ///< stale-first drain: longest-unactivated nodes first, so
                 ///< the freshest information propagates as late as possible
                 ///< — the worst-case schedule for detection latency
+};
+
+/// How async_unit executes a drained unit when a thread pool is attached.
+/// All three modes produce bit-identical registers, alarms and scheduling
+/// (see the sharded-drain contract in Simulation); the switch only picks
+/// the execution strategy.
+enum class AsyncDrain {
+  kSequential,  ///< always drain on the calling thread (the reference path)
+  kAuto,        ///< parallel when a pool is attached and the drain is large
+                ///< enough to amortize the fork-join barriers (default)
+  kParallel,    ///< force the sharded path even for tiny drains — the mode
+                ///< the equivalence tests and TSan runs use so small graphs
+                ///< still exercise real cross-thread stepping
 };
 
 /// Aggregate accounting for one simulation, maintained incrementally so
@@ -56,6 +70,17 @@ struct SimulationStats {
   /// inline layout it could only ever see sizeof(State); the striped arena
   /// makes it report the live footprint.
   std::size_t peak_register_bytes = 0;
+  /// Parallel-drain activations deferred out of the conflict-free interior
+  /// epoch 0 (see the sharded-drain contract in Simulation): drained nodes
+  /// with an earlier-in-discipline-order drained neighbour, i.e. the part
+  /// of a drain that cannot run in the first concurrent wave. Counted only
+  /// by parallel drains; the sequential path leaves it 0.
+  std::uint64_t cross_shard_deferrals = 0;
+  /// Per-shard drained-activation counts under the *current* shard layout
+  /// (one slot per CSR shard; sized lazily by the first parallel drain,
+  /// re-sized — and so reset — when set_thread_pool changes the layout).
+  /// Counted only by parallel drains; sums to their share of activations.
+  std::vector<std::uint64_t> shard_activations;
 
   /// Time units from the last epoch (construction or alarm-history reset)
   /// to the first alarm — the detection latency of the current experiment.
@@ -122,7 +147,54 @@ struct SimulationStats {
 /// stamp, the resulting registers *and* the full SimulationStats are
 /// bit-identical to the serial sweep at any thread count. Protocols driven
 /// this way must honour the thread-safety contract in protocol.hpp.
-/// `async_unit` is inherently sequential and ignores the pool.
+///
+/// Sharded asynchronous drains (the parallel async engine): with a pool
+/// attached, `async_unit` also shards the *queue machinery* — the dirty
+/// bitmap and pending queue are split along the same CSR shard boundaries
+/// (`compute_shards`), so enqueueing, claiming and post-drain marking touch
+/// per-shard structures — and executes the drained unit concurrently under
+/// a determinism guarantee:
+///
+///  * Conflict epochs. Two drained activations commute iff the nodes are
+///    non-adjacent (a step reads only the closed neighbourhood and writes
+///    only its own register — protocol.hpp's locality contract). A serial
+///    classification pass over the drain in discipline order pi assigns
+///    epoch(v) = 1 + max{epoch(u) : u drained, u adjacent to v, pi(u) <
+///    pi(v)} (0 when there is no such u). Epochs execute in order with a
+///    pool barrier between them; within an epoch no two nodes are adjacent,
+///    so they may step concurrently in any interleaving.
+///  * Determinism. Adjacent drained pairs retain their exact discipline
+///    order across epochs and non-adjacent pairs commute, so the parallel
+///    drain is bit-identical to the sequential drain — registers, alarms,
+///    stats and the next unit's enabled set — for every DaemonOrder
+///    (including kAdversarial's stale-first stamps) at every thread count:
+///    the epoch structure is a function of the discipline order and the
+///    graph alone, never of the pool width. Pinned by
+///    tests/test_async_queue.cpp across 1/2/4/7 threads.
+///  * Epoch 0 is the lock-free interior (typically the vast majority of a
+///    sparse fault storm: conflicts require *adjacent* simultaneous
+///    activations); later epochs are the deferred boundary work, counted
+///    in SimulationStats::cross_shard_deferrals and per shard in
+///    shard_activations.
+///  * Re-enable rules are unchanged: post-drain marking enables exactly the
+///    changed nodes' closed neighbourhoods (sharded across lanes — lane s
+///    writes only its own shard's bitmap slice and queue — or serially for
+///    small change sets; dense change sets still take the blanket
+///    re-enable). A fault injected *between* units via state()/mutate lands
+///    in the per-shard pending queues and is drained next unit exactly as
+///    in the sequential engine.
+///  * The legacy full-sweep daemon (`set_full_sweep(true)`) stays strictly
+///    sequential and ignores the pool; `set_async_drain` picks between the
+///    sequential reference path, kAuto (parallel only when the drain is
+///    large enough to amortize the barriers) and kParallel (forced).
+///  * Nested-pool rule: a drain borrows the same pool as sync rounds, and
+///    ThreadPool is not re-entrant — do not drive async_unit from inside a
+///    job running on that same pool (sim/batch.hpp spells out the
+///    BatchRunner interplay: give sims their own pool or none).
+/// Steady-state parallel units allocate nothing: the classification
+/// scratch is sized once (lazily, on the first parallel drain) and every
+/// pool task fits std::function's inline buffer (pinned by
+/// tests/test_alloc_free.cpp).
 template <typename State>
 class Simulation {
  public:
@@ -149,17 +221,25 @@ class Simulation {
 
   const WeightedGraph& graph() const { return *g_; }
 
-  /// Shards subsequent sync_rounds across `pool` (not owned; must outlive
-  /// the simulation or be detached with nullptr). nullptr restores the
-  /// serial sweep. Results are bit-identical either way. Safe to call at
-  /// any time and repeatedly: the shard boundaries are recomputed from the
-  /// CSR degrees on every call (they depend only on the pool width and the
-  /// immutable graph, never on when the call happens relative to other
-  /// setup).
+  /// Shards subsequent sync_rounds *and* async drains across `pool` (not
+  /// owned; must outlive the simulation or be detached with nullptr).
+  /// nullptr restores the serial sweep. Results are bit-identical either
+  /// way. Safe to call at any time and repeatedly: the shard boundaries
+  /// are recomputed from the CSR degrees on every call, and any pending
+  /// activations are re-bucketed into the new per-shard queues preserving
+  /// the enabled set exactly — attaching or detaching a pool mid-run never
+  /// changes the schedule.
   void set_thread_pool(ThreadPool* pool) {
     pool_ = pool;
     compute_shards();
   }
+
+  /// Selects the async drain execution strategy (see AsyncDrain). Purely a
+  /// performance switch: every mode yields bit-identical results. kAuto
+  /// (default) goes parallel only when a pool is attached and the drain is
+  /// large enough to amortize the fork-join barriers.
+  void set_async_drain(AsyncDrain mode) { async_drain_ = mode; }
+  AsyncDrain async_drain() const { return async_drain_; }
 
   std::uint64_t time() const { return stats_.time; }
   const SimulationStats& stats() const { return stats_; }
@@ -200,11 +280,43 @@ class Simulation {
     for (const HalfEdge& e : g_->neighbors(v)) enqueue(e.to);
   }
 
+  /// Batch form of mark_dirty: enables the closed neighbourhoods of every
+  /// listed node in one pass over the list (duplicates suppressed by the
+  /// bitmap, so overlapping neighbourhoods cost nothing extra). Produces
+  /// exactly the same enabled set as per-node mark_dirty calls — no dense
+  /// cutover, no over-approximation — so multi-fault storms stay sparse
+  /// and schedule-equivalence across injection styles is preserved.
+  void mark_dirty(std::span<const NodeId> nodes) {
+    if (enable_all_pending_) return;
+    for (NodeId v : nodes) {
+      enqueue(v);
+      for (const HalfEdge& e : g_->neighbors(v)) enqueue(e.to);
+    }
+  }
+
+  /// Batch register mutation: applies fn(v, register&) to every listed
+  /// node, then enables all their closed neighbourhoods in one pass — the
+  /// many-fault analogue of per-node state(v) access (sim/faults.hpp's
+  /// span-taking inject_faults is the canonical caller). Demotes sync
+  /// back-buffer coherence exactly like state(v) does.
+  template <typename Fn>
+  void mutate_registers(std::span<const NodeId> nodes, Fn&& fn) {
+    if (nodes.empty()) return;
+    back_coherent_ = false;
+    for (NodeId v : nodes) fn(v, regs_[v]);
+    mark_dirty(nodes);
+  }
+
   /// True when no node is enabled: every further async unit is a no-op
   /// until a register mutation (or sync round) re-enables something. The
   /// queue-driven daemon's quiescence point.
   bool async_quiescent() const {
-    return !enable_all_pending_ && queue_.empty();
+    if (enable_all_pending_) return false;
+    if (!queue_.empty()) return false;
+    for (const auto& q : queues_) {
+      if (!q.empty()) return false;
+    }
+    return true;
   }
 
   /// Switches the asynchronous scheduler between the activation queue
@@ -304,65 +416,12 @@ class Simulation {
       // mutates the front buffer in place and demotes it.
       if (!drain_.empty()) back_coherent_ = false;
       discipline(order, rng);
-      SweepAcc acc;
-      // Dense cutover: once >= 1/4 of all registers changed this unit, the
-      // outcome is a blanket re-enable, so collecting further changed
-      // nodes is pointless — stop at the cut (the partial list is
-      // discarded). The list is collected through a raw cursor (capacity
-      // ensured up front) because a push_back's size/capacity traffic is
-      // measurable inside this loop.
-      const std::size_t cut = (regs_.size() + 3) / 4;
-      const std::uint32_t stamp32 = static_cast<std::uint32_t>(stamp);
-      if (changed_.size() < cut) changed_.resize(cut);
-      NodeId* coll = changed_.data();
-      NodeId* const coll_end = coll + cut;
-      std::uint64_t changed_n = 0;
-      if (drain_.size() == regs_.size()) {
-        // Full drain: every node's last activation is this unit, recorded
-        // as one scalar floor instead of n stores (a per-node streaming
-        // store costs ~15% of a dense unit; staleness() folds the floor
-        // back in, so kAdversarial ordering is unaffected).
-        for (NodeId v : drain_) {
-          NeighborReader<State> nbr(*g_, regs_, v);
-          if (proto_->step_changed(v, regs_[v], nbr, stamp)) {
-            ++changed_n;
-            if (coll != coll_end) *coll++ = v;
-          }
-        }
-        full_drain_stamp_ = stamp32;
+      // Both paths are bit-identical (the sharded-drain contract in the
+      // class comment); the switch is purely an execution strategy.
+      if (use_parallel_drain()) {
+        drain_parallel(stamp);
       } else {
-        for (NodeId v : drain_) {
-          NeighborReader<State> nbr(*g_, regs_, v);
-          if (proto_->step_changed(v, regs_[v], nbr, stamp)) {
-            ++changed_n;
-            if (coll != coll_end) *coll++ = v;
-          }
-          last_step_[v] = stamp32;
-        }
-      }
-      // Accounting in a second tight pass over the drain (not interleaved
-      // with the steps): a node is drained at most once per unit and only
-      // its own step writes its register, so the post-drain state equals
-      // the post-step state — same stamp semantics as the batched legacy
-      // pass at O(drained) cost, and keeping the virtual
-      // state_bits/alarmed calls out of the stepping loop keeps dense
-      // units at full-sweep throughput.
-      for (NodeId v : drain_) record_state(v, regs_[v], stamp, acc);
-      fold(acc, stamp);
-      stats_.activations += drain_.size();
-      stats_.effective_steps += changed_n;
-      // Dirty propagation, deferred to the unit's end (identical next-unit
-      // enabled set to inline marking). Dense change sets take the blanket
-      // re-enable — the next unit is a full sweep either way, and skipping
-      // the per-neighbourhood bit traffic keeps full-activity units within
-      // a few percent of the legacy sweep. Sparse ones mark exact closed
-      // neighbourhoods so activity can collapse to quiescence.
-      if (changed_n >= cut) {
-        enable_all_pending_ = true;
-      } else {
-        for (const NodeId* p = changed_.data(); p != coll; ++p) {
-          mark_dirty(*p);
-        }
+        drain_sequential(stamp);
       }
     }
     ++stats_.time;
@@ -446,25 +505,57 @@ class Simulation {
   /// balanced by half-edge count (+1 per node for the fixed per-activation
   /// cost), derived from the CSR degrees. Called from the constructor and
   /// from every set_thread_pool, so the boundaries never depend on call
-  /// order relative to other setup.
+  /// order relative to other setup. Also (re)builds the node -> shard
+  /// lookup and re-buckets any pending activations into the new per-shard
+  /// queues, preserving the enabled set exactly — changing the pool
+  /// mid-run never changes the async schedule.
   void compute_shards() {
     shard_starts_.clear();
-    if (pool_ == nullptr || pool_->threads() <= 1) return;
-    const NodeId n = g_->n();
-    const std::uint32_t shards =
-        std::min<std::uint32_t>(pool_->threads(), std::max<NodeId>(n, 1));
-    std::uint64_t total = n;
-    for (NodeId v = 0; v < n; ++v) total += g_->degree(v);
-    shard_starts_.reserve(shards + 1);
-    shard_starts_.push_back(0);
-    std::uint64_t acc = 0;
-    NodeId v = 0;
-    for (std::uint32_t s = 1; s < shards; ++s) {
-      const std::uint64_t target = total * s / shards;
-      while (v < n && acc < target) acc += 1 + g_->degree(v++);
-      shard_starts_.push_back(v);
+    if (pool_ != nullptr && pool_->threads() > 1) {
+      const NodeId n = g_->n();
+      const std::uint32_t shards =
+          std::min<std::uint32_t>(pool_->threads(), std::max<NodeId>(n, 1));
+      std::uint64_t total = n;
+      for (NodeId v = 0; v < n; ++v) total += g_->degree(v);
+      shard_starts_.reserve(shards + 1);
+      shard_starts_.push_back(0);
+      std::uint64_t acc = 0;
+      NodeId v = 0;
+      for (std::uint32_t s = 1; s < shards; ++s) {
+        const std::uint64_t target = total * s / shards;
+        while (v < n && acc < target) acc += 1 + g_->degree(v++);
+        shard_starts_.push_back(v);
+      }
+      shard_starts_.push_back(n);
     }
-    shard_starts_.push_back(n);
+    const std::size_t nq =
+        shard_starts_.size() > 2 ? shard_starts_.size() - 1 : 1;
+    if (nq > 1) {
+      node_shard_.resize(g_->n());
+      for (std::uint32_t s = 0; s + 1 < shard_starts_.size(); ++s) {
+        for (NodeId v = shard_starts_[s]; v < shard_starts_[s + 1]; ++v) {
+          node_shard_[v] = static_cast<std::uint16_t>(s);
+        }
+      }
+    } else {
+      node_shard_.clear();
+    }
+    // Re-bucket pending activations from whichever layout held them into
+    // the new one (bits stay set, so no enqueue checks): the flat queue_
+    // when serial, per-shard queues_ otherwise.
+    rebucket_.clear();
+    rebucket_.swap(queue_);
+    for (auto& q : queues_) {
+      rebucket_.insert(rebucket_.end(), q.begin(), q.end());
+    }
+    if (nq > 1) {
+      queues_.assign(nq, {});
+      for (NodeId v : rebucket_) queues_[node_shard_[v]].push_back(v);
+      rebucket_.clear();
+    } else {
+      queues_.clear();
+      queue_.swap(rebucket_);
+    }
   }
 
   /// A node's effective last-activation stamp, +1 so the kNever32
@@ -476,26 +567,50 @@ class Simulation {
                                    full_drain_stamp_ + 1);
   }
 
-  /// Adds v to the pending queue unless it is already there. O(1).
+  /// Adds v to the pending queue unless it is already there: the flat
+  /// queue when unsharded (the PR 4 hot path, kept branch-cheap so serial
+  /// sparse units pay nothing for the sharding machinery), its shard's
+  /// queue otherwise. O(1).
   void enqueue(NodeId v) {
     if (!enabled_[v]) {
       enabled_[v] = 1;
-      queue_.push_back(v);
+      if (node_shard_.empty()) {
+        queue_.push_back(v);
+      } else {
+        queues_[node_shard_[v]].push_back(v);
+      }
     }
   }
 
   /// Claims the enabled set into drain_ (ascending node order) and clears
-  /// the pending queue. A blanket re-enable materializes as a full iota;
+  /// the pending queues. A blanket re-enable materializes as a full iota;
   /// otherwise dense queues are collected by a bitmap scan (already
   /// ascending) and sparse ones sorted directly — both yield the canonical
-  /// ascending base order the disciplines build on.
+  /// ascending base order the disciplines build on. Under the sharded
+  /// layout each queue holds only its shard's (contiguous CSR range)
+  /// nodes, so per-shard sorts / scans concatenated in shard order yield
+  /// the same canonical ascending drain — which lets large claims run
+  /// shard-parallel without changing the result.
   void take_enabled() {
+    if (node_shard_.empty()) {
+      take_enabled_serial();
+    } else {
+      take_enabled_sharded();
+    }
+  }
+
+  /// Serial claim over the flat queue — the PR 4 hot path, untouched by
+  /// the sharding machinery so sparse sequential units keep their latency.
+  /// always_inline: behind the layout dispatch GCC stops inlining this
+  /// into async_unit, which alone costs ~15% sparse-unit latency (the
+  /// claim fuses with the surrounding drain code when inlined).
+  __attribute__((always_inline)) inline void take_enabled_serial() {
     const NodeId n = g_->n();
     if (enable_all_pending_) {
       enable_all_pending_ = false;
-      // enabled_[v] is set iff v is in queue_, so clearing the queued bits
-      // restores the all-clear invariant in O(queue), not O(n) — in dense
-      // steady state the queue is empty and this is free.
+      // enabled_[v] is set iff v is queued, so clearing the queued bits
+      // restores the all-clear invariant in O(pending), not O(n) — in
+      // dense steady state the queue is empty and this is free.
       for (NodeId v : queue_) enabled_[v] = 0;
       queue_.clear();
       build_drain_full();
@@ -503,18 +618,90 @@ class Simulation {
     }
     drain_.clear();
     if (queue_.size() * 16 >= n) {
+      // Dense claim: bitmap scan, ascending. The queue contents equal the
+      // set bits, so the queue is just dropped.
       drain_.reserve(queue_.size());
+      queue_.clear();
       for (NodeId v = 0; v < n; ++v) {
         if (enabled_[v]) {
           enabled_[v] = 0;
           drain_.push_back(v);
         }
       }
-      queue_.clear();
     } else {
       drain_.swap(queue_);
       std::sort(drain_.begin(), drain_.end());
       for (NodeId v : drain_) enabled_[v] = 0;
+    }
+  }
+
+  /// Sharded claim over the per-shard queues; concatenation in shard order
+  /// reproduces the canonical ascending drain (each queue holds only its
+  /// shard's contiguous CSR range). noinline keeps the big sharded bodies
+  /// out of async_unit's inlined serial hot path (they cost measurable
+  /// sparse-unit latency through code bloat alone).
+  __attribute__((noinline)) void take_enabled_sharded() {
+    const NodeId n = g_->n();
+    if (enable_all_pending_) {
+      enable_all_pending_ = false;
+      for (auto& q : queues_) {
+        for (NodeId v : q) enabled_[v] = 0;
+        q.clear();
+      }
+      build_drain_full();
+      return;
+    }
+    drain_.clear();
+    std::size_t pending = 0;
+    for (const auto& q : queues_) pending += q.size();
+    const bool forced = async_drain_ == AsyncDrain::kParallel;
+    if (pending * 16 >= n) {
+      // Dense claim: bitmap scan, ascending. The queue contents equal the
+      // set bits, so the queues are just dropped.
+      for (auto& q : queues_) q.clear();
+      if (forced || pending >= kParallelTakeMin) {
+        // Each lane collects its contiguous shard range into its own
+        // (just-cleared) queue; concatenation in shard order is ascending.
+        pool_->run(static_cast<std::uint32_t>(shard_starts_.size() - 1),
+                   [this](std::uint32_t s) {
+                     auto& q = queues_[s];
+                     for (NodeId v = shard_starts_[s];
+                          v < shard_starts_[s + 1]; ++v) {
+                       if (enabled_[v]) {
+                         enabled_[v] = 0;
+                         q.push_back(v);
+                       }
+                     }
+                   });
+        for (auto& q : queues_) {
+          drain_.insert(drain_.end(), q.begin(), q.end());
+          q.clear();
+        }
+      } else {
+        drain_.reserve(pending);
+        for (NodeId v = 0; v < n; ++v) {
+          if (enabled_[v]) {
+            enabled_[v] = 0;
+            drain_.push_back(v);
+          }
+        }
+      }
+    } else {
+      // Sparse sharded claim: sort each shard's queue (parallel when the
+      // work warrants it), concatenate in shard order.
+      if (forced || pending >= kParallelTakeMin) {
+        pool_->run(static_cast<std::uint32_t>(queues_.size()),
+                   [this](std::uint32_t s) {
+                     std::sort(queues_[s].begin(), queues_[s].end());
+                   });
+      } else {
+        for (auto& q : queues_) std::sort(q.begin(), q.end());
+      }
+      for (auto& q : queues_) {
+        for (NodeId v : q) enabled_[v] = 0;
+        drain_.insert(drain_.end(), q.begin(), q.end());
+        q.clear();
+      }
     }
   }
 
@@ -549,6 +736,279 @@ class Simulation {
         });
         break;
     }
+  }
+
+  /// Whether this unit's drain runs on the sharded path. Requires shards
+  /// (pool attached, >= 2 lanes); kAuto additionally requires the drain to
+  /// be large enough that the stepping work amortizes the epoch barriers.
+  bool use_parallel_drain() const {
+    if (shard_starts_.size() <= 2 || drain_.empty()) return false;
+    switch (async_drain_) {
+      case AsyncDrain::kSequential:
+        return false;
+      case AsyncDrain::kParallel:
+        return true;
+      case AsyncDrain::kAuto:
+        return drain_.size() >= kAutoParallelDrainMin;
+    }
+    return false;
+  }
+
+  /// Executes the disciplined drain on the calling thread — the reference
+  /// semantics the parallel path must reproduce bit-for-bit.
+  /// always_inline: extracted from async_unit for the parallel split but
+  /// still the per-unit hot path — keep it fused exactly as before.
+  __attribute__((always_inline)) inline void drain_sequential(
+      std::uint64_t stamp) {
+    SweepAcc acc;
+    // Dense cutover: once >= 1/4 of all registers changed this unit, the
+    // outcome is a blanket re-enable, so collecting further changed
+    // nodes is pointless — stop at the cut (the partial list is
+    // discarded). The list is collected through a raw cursor (capacity
+    // ensured up front) because a push_back's size/capacity traffic is
+    // measurable inside this loop.
+    const std::size_t cut = (regs_.size() + 3) / 4;
+    const std::uint32_t stamp32 = static_cast<std::uint32_t>(stamp);
+    if (changed_.size() < cut) changed_.resize(cut);
+    NodeId* coll = changed_.data();
+    NodeId* const coll_end = coll + cut;
+    std::uint64_t changed_n = 0;
+    if (drain_.size() == regs_.size()) {
+      // Full drain: every node's last activation is this unit, recorded
+      // as one scalar floor instead of n stores (a per-node streaming
+      // store costs ~15% of a dense unit; staleness() folds the floor
+      // back in, so kAdversarial ordering is unaffected).
+      for (NodeId v : drain_) {
+        NeighborReader<State> nbr(*g_, regs_, v);
+        if (proto_->step_changed(v, regs_[v], nbr, stamp)) {
+          ++changed_n;
+          if (coll != coll_end) *coll++ = v;
+        }
+      }
+      full_drain_stamp_ = stamp32;
+    } else {
+      for (NodeId v : drain_) {
+        NeighborReader<State> nbr(*g_, regs_, v);
+        if (proto_->step_changed(v, regs_[v], nbr, stamp)) {
+          ++changed_n;
+          if (coll != coll_end) *coll++ = v;
+        }
+        last_step_[v] = stamp32;
+      }
+    }
+    // Accounting in a second tight pass over the drain (not interleaved
+    // with the steps): a node is drained at most once per unit and only
+    // its own step writes its register, so the post-drain state equals
+    // the post-step state — same stamp semantics as the batched legacy
+    // pass at O(drained) cost, and keeping the virtual
+    // state_bits/alarmed calls out of the stepping loop keeps dense
+    // units at full-sweep throughput.
+    for (NodeId v : drain_) record_state(v, regs_[v], stamp, acc);
+    fold(acc, stamp);
+    stats_.activations += drain_.size();
+    stats_.effective_steps += changed_n;
+    // Dirty propagation, deferred to the unit's end (identical next-unit
+    // enabled set to inline marking). Dense change sets take the blanket
+    // re-enable — the next unit is a full sweep either way, and skipping
+    // the per-neighbourhood bit traffic keeps full-activity units within
+    // a few percent of the legacy sweep. Sparse ones mark exact closed
+    // neighbourhoods so activity can collapse to quiescence.
+    if (changed_n >= cut) {
+      enable_all_pending_ = true;
+    } else {
+      for (const NodeId* p = changed_.data(); p != coll; ++p) {
+        mark_dirty(*p);
+      }
+    }
+  }
+
+  /// Executes the disciplined drain across the pool under the sharded-
+  /// drain contract (class comment): classify into conflict epochs in
+  /// discipline order, step each epoch concurrently (no two nodes in an
+  /// epoch are adjacent), then reproduce the sequential tail — changed
+  /// list in discipline order, chunk-folded accounting, sharded or serial
+  /// dirty propagation. Bit-identical to drain_sequential at every thread
+  /// count for every discipline.
+  __attribute__((noinline)) void drain_parallel(std::uint64_t stamp) {
+    const auto shards = static_cast<std::uint32_t>(shard_starts_.size() - 1);
+    ensure_parallel_scratch(shards);
+    const bool forced = async_drain_ == AsyncDrain::kParallel;
+
+    // --- 1. Conflict classification, serial, in discipline order. ---
+    // epoch(v) = 1 + max epoch of v's already-classified drained
+    // neighbours (0 if none): adjacent pairs keep their discipline order
+    // across epoch barriers, non-adjacent pairs commute.
+    const std::uint32_t gen = next_drain_gen();
+    for (NodeId v : drain_) {
+      drain_gen_[v] = gen;
+      drain_epoch_[v] = kUnassignedEpoch;
+      changed_mark_[v] = 0;
+    }
+    epoch_counts_.clear();
+    for (NodeId v : drain_) {
+      std::uint32_t e = 0;
+      for (const HalfEdge& he : g_->neighbors(v)) {
+        const NodeId u = he.to;
+        if (drain_gen_[u] == gen && drain_epoch_[u] != kUnassignedEpoch &&
+            drain_epoch_[u] >= e) {
+          e = drain_epoch_[u] + 1;
+        }
+      }
+      drain_epoch_[v] = e;
+      if (e >= epoch_counts_.size()) epoch_counts_.resize(e + 1, 0);
+      ++epoch_counts_[e];
+      ++stats_.shard_activations[node_shard_[v]];
+    }
+    stats_.cross_shard_deferrals += drain_.size() - epoch_counts_[0];
+
+    // --- 2. Stable counting sort of the drain by epoch (discipline order
+    // preserved within each epoch). ---
+    epoch_offsets_.resize(epoch_counts_.size() + 1);
+    epoch_offsets_[0] = 0;
+    for (std::size_t e = 0; e < epoch_counts_.size(); ++e) {
+      epoch_offsets_[e + 1] = epoch_offsets_[e] + epoch_counts_[e];
+    }
+    epoch_order_.resize(drain_.size());
+    for (std::size_t e = 0; e < epoch_counts_.size(); ++e) {
+      epoch_counts_[e] = epoch_offsets_[e];  // reuse as scatter cursors
+    }
+    for (NodeId v : drain_) {
+      epoch_order_[epoch_counts_[drain_epoch_[v]]++] = v;
+    }
+
+    // --- 3. Epoch execution with pool barriers in between. Task context
+    // travels via members so every closure fits std::function's inline
+    // buffer — a steady-state parallel unit allocates nothing. ---
+    const bool full = drain_.size() == regs_.size();
+    sweep_stamp_ = stamp;
+    ep_stamp32_ = static_cast<std::uint32_t>(stamp);
+    ep_partial_ = !full;
+    for (std::size_t e = 0; e < epoch_offsets_.size() - 1; ++e) {
+      const std::uint32_t lo = epoch_offsets_[e];
+      const std::uint32_t hi = epoch_offsets_[e + 1];
+      if (!forced && hi - lo <= kInlineEpochMax) {
+        // Tiny epoch: the barrier costs more than the steps.
+        step_epoch_range(lo, hi);
+      } else {
+        ep_lo_ = lo;
+        pool_->parallel_for(hi - lo, kEpochGrain,
+                            [this](std::uint32_t a, std::uint32_t b) {
+                              step_epoch_range(ep_lo_ + a, ep_lo_ + b);
+                            });
+      }
+    }
+    if (full) full_drain_stamp_ = ep_stamp32_;
+
+    // --- 4. Accounting: chunked second pass over the drain, per-chunk
+    // deltas folded in chunk order. Chunk boundaries depend on the lane
+    // count, but record_state writes only per-node slots and every alarm
+    // of the unit carries the same stamp, so the folded stats are
+    // independent of the chunking — and equal to the sequential single
+    // fold. ---
+    acc_chunk_ = (drain_.size() + shards - 1) / shards;
+    shard_accs_.assign(shards, SweepAcc{});
+    pool_->run(shards, [this](std::uint32_t c) {
+      const std::size_t lo = std::size_t{c} * acc_chunk_;
+      const std::size_t hi = std::min(drain_.size(), lo + acc_chunk_);
+      SweepAcc acc;
+      for (std::size_t i = lo; i < hi; ++i) {
+        record_state(drain_[i], regs_[drain_[i]], sweep_stamp_, acc);
+      }
+      if (lo < hi) shard_accs_[c] = acc;
+    });
+    for (const SweepAcc& acc : shard_accs_) fold(acc, stamp);
+
+    // --- 5. Changed list in discipline order, cursor capped at the dense
+    // cutover — exactly the sequential collection semantics. ---
+    const std::size_t cut = (regs_.size() + 3) / 4;
+    if (changed_.size() < cut) changed_.resize(cut);
+    NodeId* coll = changed_.data();
+    NodeId* const coll_end = coll + cut;
+    std::uint64_t changed_n = 0;
+    for (NodeId v : drain_) {
+      if (changed_mark_[v]) {
+        ++changed_n;
+        if (coll != coll_end) *coll++ = v;
+      }
+    }
+    stats_.activations += drain_.size();
+    stats_.effective_steps += changed_n;
+
+    // --- 6. Dirty propagation: same blanket rule as the sequential path;
+    // large sparse change sets mark shard-parallel (lane s writes only its
+    // own shard's bitmap slice and queue — marking order within a shard is
+    // fixed by the changed list, so the queues are deterministic), small
+    // ones serially. ---
+    if (changed_n >= cut) {
+      enable_all_pending_ = true;
+    } else {
+      const auto n_changed = static_cast<std::size_t>(coll - changed_.data());
+      if (forced || n_changed >= kParallelMarkMin) {
+        mark_count_ = n_changed;
+        pool_->run(shards, [this](std::uint32_t s) {
+          const NodeId lo = shard_starts_[s];
+          const NodeId hi = shard_starts_[s + 1];
+          auto& q = queues_[s];
+          for (std::size_t i = 0; i < mark_count_; ++i) {
+            const NodeId c = changed_[i];
+            if (c >= lo && c < hi && !enabled_[c]) {
+              enabled_[c] = 1;
+              q.push_back(c);
+            }
+            for (const HalfEdge& he : g_->neighbors(c)) {
+              const NodeId u = he.to;
+              if (u >= lo && u < hi && !enabled_[u]) {
+                enabled_[u] = 1;
+                q.push_back(u);
+              }
+            }
+          }
+        });
+      } else {
+        for (const NodeId* p = changed_.data(); p != coll; ++p) {
+          mark_dirty(*p);
+        }
+      }
+    }
+  }
+
+  /// Steps epoch_order_[lo, hi) against the current registers. Within one
+  /// epoch no two nodes are adjacent, so concurrent invocations on
+  /// disjoint ranges touch disjoint closed neighbourhoods' *written*
+  /// registers (reads of unwritten neighbours are racefree by locality).
+  void step_epoch_range(std::uint32_t lo, std::uint32_t hi) {
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      const NodeId v = epoch_order_[i];
+      NeighborReader<State> nbr(*g_, regs_, v);
+      if (proto_->step_changed(v, regs_[v], nbr, sweep_stamp_)) {
+        changed_mark_[v] = 1;
+      }
+      if (ep_partial_) last_step_[v] = ep_stamp32_;
+    }
+  }
+
+  /// Sizes the parallel-drain scratch for the current graph/layout; no-op
+  /// (and allocation-free) once warm.
+  void ensure_parallel_scratch(std::uint32_t shards) {
+    if (drain_gen_.size() != regs_.size()) {
+      drain_gen_.assign(regs_.size(), 0);
+      drain_epoch_.assign(regs_.size(), 0);
+      changed_mark_.assign(regs_.size(), 0);
+      drain_gen_ctr_ = 0;
+    }
+    if (stats_.shard_activations.size() != shards) {
+      stats_.shard_activations.assign(shards, 0);
+    }
+  }
+
+  /// Next drain generation tag; on the (2^32nd) wrap the tag array is
+  /// re-zeroed so stale tags can never alias.
+  std::uint32_t next_drain_gen() {
+    if (++drain_gen_ctr_ == 0) {
+      std::fill(drain_gen_.begin(), drain_gen_.end(), 0);
+      drain_gen_ctr_ = 1;
+    }
+    return drain_gen_ctr_;
   }
 
   /// Steps nodes [lo, hi) of the current round into the back buffer and
@@ -659,8 +1119,13 @@ class Simulation {
   SimulationStats stats_;
 
   // Activation-queue state (see the class comment for the contract).
-  std::vector<std::uint8_t> enabled_;   ///< dirty bitmap: node is in queue_
-  std::vector<NodeId> queue_;           ///< pending: enabled, not yet drained
+  std::vector<std::uint8_t> enabled_;   ///< dirty bitmap: node is pending
+  /// Pending activations. Exactly one layout is live at a time, switched
+  /// by compute_shards: the flat queue_ when unsharded (node_shard_
+  /// empty — the branch-cheap serial hot path), the per-CSR-shard queues_
+  /// (declared with the parallel-drain block below, away from this hot
+  /// cluster) otherwise.
+  std::vector<NodeId> queue_;
   std::vector<NodeId> drain_;           ///< the unit in flight / last unit
   std::vector<NodeId> changed_;         ///< register-changing steps, per unit
   /// Unit of each node's last *sparse* activation, truncated to 32 bits
@@ -680,6 +1145,40 @@ class Simulation {
   std::vector<SweepAcc> shard_accs_;    ///< per-shard deltas of one round
   std::uint64_t sweep_stamp_ = 0;       ///< round context for the shard task
   bool sweep_coherent_ = false;         ///< (written before pool_->run)
+
+  // Parallel async drain (see the sharded-drain contract). Tuning
+  // thresholds only pick the execution strategy — results are identical
+  // on either side of every threshold.
+  AsyncDrain async_drain_ = AsyncDrain::kAuto;
+  /// Per-shard pending queues (the sharded counterpart of queue_). Each
+  /// queue holds only nodes of its shard's contiguous CSR range, so
+  /// shard-order concatenation of sorted queues is the canonical
+  /// ascending drain.
+  std::vector<std::vector<NodeId>> queues_;
+  std::vector<std::uint16_t> node_shard_;  ///< node -> shard; empty = serial
+  std::vector<NodeId> rebucket_;        ///< compute_shards scratch
+  static constexpr std::uint32_t kUnassignedEpoch =
+      std::numeric_limits<std::uint32_t>::max();
+  static constexpr std::size_t kAutoParallelDrainMin = 1024;
+  static constexpr std::uint32_t kInlineEpochMax = 32;
+  static constexpr std::uint32_t kEpochGrain = 16;
+  static constexpr std::size_t kParallelTakeMin = 4096;
+  static constexpr std::size_t kParallelMarkMin = 2048;
+  /// Classification scratch, all n-sized and allocated lazily by the
+  /// first parallel drain (sequential-only sims never pay for them).
+  std::vector<std::uint32_t> drain_gen_;    ///< tag: drained this unit
+  std::vector<std::uint32_t> drain_epoch_;  ///< conflict epoch of the node
+  std::vector<std::uint8_t> changed_mark_;  ///< per-node changed flag
+  std::uint32_t drain_gen_ctr_ = 0;
+  std::vector<std::uint32_t> epoch_counts_;   ///< per-epoch sizes / cursors
+  std::vector<std::uint32_t> epoch_offsets_;  ///< prefix sums of the above
+  std::vector<NodeId> epoch_order_;  ///< drain sorted by (epoch, discipline)
+  // Per-call task context (members so the pool closures stay inline-sized).
+  std::uint32_t ep_lo_ = 0;          ///< epoch slice base in epoch_order_
+  std::uint32_t ep_stamp32_ = 0;     ///< truncated unit stamp
+  bool ep_partial_ = false;          ///< partial drain: store last_step_
+  std::size_t acc_chunk_ = 0;        ///< accounting chunk length
+  std::size_t mark_count_ = 0;       ///< changed-list length for marking
 };
 
 }  // namespace ssmst

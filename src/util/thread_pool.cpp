@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
+
 namespace ssmst {
 
 ThreadPool::ThreadPool(unsigned threads) : n_threads_(threads == 0 ? 1 : threads) {
@@ -60,6 +62,24 @@ void ThreadPool::run(std::uint32_t tasks,
     lk.unlock();
     std::rethrow_exception(e);
   }
+}
+
+void ThreadPool::parallel_for(
+    std::uint32_t items, std::uint32_t grain,
+    const std::function<void(std::uint32_t, std::uint32_t)>& fn) {
+  if (items == 0) return;
+  if (grain == 0) grain = 1;
+  const std::uint32_t by_grain = (items + grain - 1) / grain;
+  const std::uint32_t chunks =
+      std::min<std::uint32_t>(by_grain, n_threads_ * 4);
+  const std::uint32_t chunk = (items + chunks - 1) / chunks;
+  // The adapter captures one pointer and two 32-bit values: within
+  // std::function's inline buffer, so no allocation per call.
+  run(chunks, [&fn, items, chunk](std::uint32_t c) {
+    const std::uint32_t lo = c * chunk;
+    const std::uint32_t hi = std::min(items, lo + chunk);
+    if (lo < hi) fn(lo, hi);
+  });
 }
 
 void ThreadPool::work(const std::function<void(std::uint32_t)>& fn) {

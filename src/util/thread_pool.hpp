@@ -45,6 +45,22 @@ class ThreadPool {
   /// there are several — is rethrown from run() on the calling thread.
   void run(std::uint32_t tasks, const std::function<void(std::uint32_t)>& fn);
 
+  /// Range fork-join on top of run(): splits [0, items) into contiguous
+  /// chunks of at least `grain` items (at most 4 chunks per lane, so the
+  /// dynamic claiming can still balance) and invokes fn(lo, hi) for each
+  /// chunk. Same barrier and exception contract as run(). The chunk
+  /// layout is a pure function of (items, grain, threads); callers that
+  /// need results independent of the thread count must therefore make the
+  /// per-chunk work order-independent (disjoint writes, commutative
+  /// reductions) — the parallel async drain and the sharded accounting
+  /// passes in sim/simulation.hpp are the model users.
+  ///
+  /// Allocation-free: the adapter closure is small enough for
+  /// std::function's inline storage, so steady-state callers stay off the
+  /// heap (asserted by tests/test_alloc_free.cpp via the drain path).
+  void parallel_for(std::uint32_t items, std::uint32_t grain,
+                    const std::function<void(std::uint32_t, std::uint32_t)>& fn);
+
   /// std::thread::hardware_concurrency() with a floor of 1.
   static unsigned hardware_threads() {
     const unsigned hc = std::thread::hardware_concurrency();

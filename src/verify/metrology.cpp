@@ -53,7 +53,8 @@ std::optional<std::uint64_t> VerifierHarness::run(std::uint64_t units) {
 
 std::vector<NodeId> VerifierHarness::inject_random(std::size_t f, Rng& rng) {
   // Simulation-aware injection: enables only the victims' neighbourhoods
-  // in the activation queue instead of re-enabling all n nodes.
+  // in the activation queue (batched into one marking pass by the span
+  // overload) instead of re-enabling all n nodes.
   return inject_faults<VerifierState>(*proto_, *sim_, f, rng);
 }
 

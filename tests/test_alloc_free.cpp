@@ -177,6 +177,32 @@ TEST(AllocFree, SteadyStateAsyncUnitsAllocateNothing) {
   EXPECT_EQ(allocs, 0u) << "steady-state async units must not allocate";
 }
 
+TEST(AllocFree, SteadyStateParallelAsyncUnitsAllocateNothing) {
+  // The sharded drain adds conflict classification, epoch execution on the
+  // pool, chunked accounting and sharded marking — all of which must run
+  // in scratch sized once by the first parallel drain, with every pool
+  // closure inside std::function's inline buffer. kParallel forces the
+  // sharded path (the graph is below the kAuto cutover).
+  Rng rng(10);
+  auto g = gen::random_connected(192, 96, rng);
+  VerifierConfig cfg;
+  cfg.sync_mode = false;
+  cfg.threads = 4;
+  cfg.daemon = DaemonOrder::kRoundRobin;
+  VerifierHarness h(g, cfg, 11);
+  h.sim().set_async_drain(AsyncDrain::kParallel);
+  // Steady state + warm parallel scratch (first drain sizes it).
+  ASSERT_FALSE(h.run(64).has_value());
+
+  const std::uint64_t allocs = count_allocations([&] {
+    ASSERT_FALSE(h.run(32).has_value());
+  });
+  EXPECT_EQ(allocs, 0u)
+      << "steady-state parallel async units must not allocate";
+  // Prove the forced sharded path actually ran.
+  EXPECT_FALSE(h.sim().stats().shard_activations.empty());
+}
+
 TEST(AllocFree, RegistersAreTriviallyCopyable) {
   static_assert(std::is_trivially_copyable_v<NodeLabels>);
   static_assert(std::is_trivially_copyable_v<VerifierState>);

@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+
 #include "graph/generators.hpp"
 #include "labels/arena.hpp"
 #include "labels/marker.hpp"
+#include "selfstab/baselines.hpp"
 #include "util/bits.hpp"
 #include "verify/metrology.hpp"
 #include "verify/verifier.hpp"
@@ -180,6 +184,63 @@ TEST(StatsPins, PeakRegisterBytesReportsLiveStripePayload) {
   cfg4.threads = 4;
   VerifierHarness h4(g, cfg4, 1);
   EXPECT_EQ(h4.sim().stats().peak_register_bytes, expect);
+}
+
+// --- Sharded-drain counters (the boundary-epoch observability stats) --------
+
+TEST(StatsPins, CrossShardDeferralsCountConflictChains) {
+  // Deterministic conflict pin on a path: under kRoundRobin a full drain
+  // of a path is one adjacent chain (epoch(v) = v), so all but the first
+  // activation defer out of epoch 0; a single mid-path fault then wakes
+  // the 3-chain {7, 8, 9}, contributing exactly 2 more deferrals.
+  Rng rng(21);
+  auto g = gen::path(16, rng);
+  auto marker = make_labels(g);
+  KkpVerifierProtocol proto(g);
+  ThreadPool pool(4);
+  Simulation<KkpState> sim(g, proto, proto.initial_states(marker), &pool);
+  sim.set_async_drain(AsyncDrain::kParallel);
+  Rng daemon(22);
+  sim.async_unit(daemon, DaemonOrder::kRoundRobin);  // full drain: 16-chain
+  EXPECT_EQ(sim.stats().cross_shard_deferrals, 15u);
+  sim.async_unit(daemon, DaemonOrder::kRoundRobin);  // quiescent: adds none
+  ASSERT_TRUE(sim.async_quiescent());
+  EXPECT_EQ(sim.stats().cross_shard_deferrals, 15u);
+
+  sim.state(8).labels.base.subtree_count += 1;  // wakes exactly {7, 8, 9}
+  sim.async_unit(daemon, DaemonOrder::kRoundRobin);
+  EXPECT_EQ(sim.stats().cross_shard_deferrals, 17u);
+  EXPECT_EQ(sim.stats().activations, std::uint64_t{16 + 3});
+}
+
+TEST(StatsPins, ShardActivationCountsCoverEveryParallelDrain) {
+  // Every drained activation of a parallel drain is attributed to exactly
+  // one shard: the per-shard counts sum to the activations total (all
+  // units of this run go through the forced parallel path) and spread
+  // over more than one shard on a balanced instance.
+  Rng rng(23);
+  auto g = gen::random_connected(128, 64, rng);
+  auto marker = make_labels(g);
+  KkpVerifierProtocol proto(g);
+  ThreadPool pool(4);
+  Simulation<KkpState> sim(g, proto, proto.initial_states(marker), &pool);
+  sim.set_async_drain(AsyncDrain::kParallel);
+  Rng daemon(24), faults(25);
+  for (int u = 0; u < 4; ++u) {
+    sim.async_unit(daemon, DaemonOrder::kRoundRobin);
+  }
+  inject_faults<KkpState>(proto, sim, 6, faults);
+  for (int u = 0; u < 6; ++u) {
+    sim.async_unit(daemon, DaemonOrder::kRoundRobin);
+  }
+  const auto& per_shard = sim.stats().shard_activations;
+  ASSERT_EQ(per_shard.size(), 4u);
+  const std::uint64_t sum =
+      std::accumulate(per_shard.begin(), per_shard.end(), std::uint64_t{0});
+  EXPECT_EQ(sum, sim.stats().activations);
+  EXPECT_GT(std::count_if(per_shard.begin(), per_shard.end(),
+                          [](std::uint64_t c) { return c > 0; }),
+            1);
 }
 
 }  // namespace

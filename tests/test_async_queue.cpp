@@ -14,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <numeric>
+#include <span>
 #include <string>
 
 #include "graph/generators.hpp"
@@ -267,6 +269,220 @@ TEST(AsyncQueueFairness, HotNodeDoesNotStarveTheChain) {
   // the wave reached the tail.
   EXPECT_GE(sim.stats().activations,
             static_cast<std::uint64_t>(units - 6) * g.n());
+}
+
+// KkpState carries heap-backed labels and defines no operator==; the
+// sharded-drain parity tests compare registers field by field.
+bool kkp_equal(const KkpState& x, const KkpState& y) {
+  return x.parent_port == y.parent_port && x.alarm == y.alarm &&
+         x.labels.base == y.labels.base &&
+         x.labels.pieces == y.labels.pieces;
+}
+
+// ---- Sharded parallel drains -----------------------------------------------
+//
+// The sharded-drain contract (sim/simulation.hpp): with a pool attached,
+// async_unit classifies the disciplined drain into conflict epochs and
+// steps each epoch concurrently. The result must be bit-identical to the
+// sequential drain — registers, alarms, schedule and stats — for every
+// daemon discipline at every thread count, because the epoch structure is
+// a function of the discipline order and the graph alone.
+
+// Parallel engine == sequential engine, unit for unit, for every
+// discipline (including kRandom: both sides are queue engines with
+// identical enabled sets, so they consume daemon randomness identically
+// forever) across 1/2/4/7 threads. AsyncDrain::kParallel forces the
+// sharded path even on these small graphs so real cross-thread stepping,
+// sharded claiming and sharded marking are exercised (and seen by TSan).
+TEST(ShardedDrain, ParallelMatchesSequentialPerUnit) {
+  for (const auto& [name, g] : small_suite(36, 44)) {
+    for (unsigned threads : {1u, 2u, 4u, 7u}) {
+      for (DaemonOrder order :
+           {DaemonOrder::kRandom, DaemonOrder::kRoundRobin,
+            DaemonOrder::kReverse, DaemonOrder::kAdversarial}) {
+        VerifierConfig cfg;
+        cfg.sync_mode = false;
+        auto marker = make_labels(g);
+        VerifierProtocol pa(g, cfg), pb(g, cfg);
+        VerifierSim a(g, pa, pa.initial_states(marker));
+        a.set_async_drain(AsyncDrain::kSequential);
+        ThreadPool pool(threads);
+        VerifierSim b(g, pb, pb.initial_states(marker), &pool);
+        b.set_async_drain(AsyncDrain::kParallel);
+        Rng da(7), db(7);
+        const std::string tag = name + "/t" + std::to_string(threads) +
+                                "/order " +
+                                std::to_string(static_cast<int>(order));
+
+        auto units_equal = [&](int count, bool stop_on_alarm) {
+          for (int u = 0; u < count; ++u) {
+            a.async_unit(da, order);
+            b.async_unit(db, order);
+            for (NodeId v = 0; v < g.n(); ++v) {
+              ASSERT_TRUE(a.cstate(v) == b.cstate(v))
+                  << tag << " unit " << u << " node " << v;
+            }
+            ASSERT_EQ(a.first_alarm_time(), b.first_alarm_time())
+                << tag << " unit " << u;
+            if (stop_on_alarm && a.first_alarm_time()) return;
+          }
+        };
+
+        units_equal(20, /*stop_on_alarm=*/false);
+        const NodeId victim = g.n() / 2;
+        a.state(victim).labels.subtree_count += 1;
+        b.state(victim).labels.subtree_count += 1;
+        units_equal(4000, /*stop_on_alarm=*/true);
+        ASSERT_TRUE(a.first_alarm_time().has_value()) << tag;
+
+        // Same scheduling decisions, same work accounting.
+        EXPECT_EQ(a.stats().units, b.stats().units) << tag;
+        EXPECT_EQ(a.stats().activations, b.stats().activations) << tag;
+        EXPECT_EQ(a.stats().effective_steps, b.stats().effective_steps)
+            << tag;
+        EXPECT_EQ(a.stats().peak_bits, b.stats().peak_bits) << tag;
+        EXPECT_EQ(a.alarmed_nodes(), b.alarmed_nodes()) << tag;
+        if (threads > 1) {
+          // The parallel side's per-shard counters cover exactly its
+          // drained activations (every unit of this run went through the
+          // forced parallel path).
+          const auto& per_shard = b.stats().shard_activations;
+          ASSERT_FALSE(per_shard.empty()) << tag;
+          const std::uint64_t sum =
+              std::accumulate(per_shard.begin(), per_shard.end(),
+                              std::uint64_t{0});
+          EXPECT_EQ(sum, b.stats().activations) << tag;
+          // Deferrals are the non-epoch-0 part of the drains: present on
+          // the star (every leaf conflicts with the hub in a full drain),
+          // and never exceeding total activations.
+          EXPECT_LE(b.stats().cross_shard_deferrals, b.stats().activations)
+              << tag;
+          if (name == "star") {
+            EXPECT_GT(b.stats().cross_shard_deferrals, 0u) << tag;
+          }
+        }
+      }
+    }
+  }
+}
+
+// A register mutation between units — a fault — must re-enable its closed
+// neighbourhood in the *sharded* queues exactly as in the sequential
+// engine: same wake-up, same verdict, same alarmed set, same activation
+// count. The parallel side injects through the batch span overload, the
+// sequential side through per-victim state(v) corruption, so this also
+// pins that the one-pass batch marking produces the identical schedule.
+TEST(ShardedDrain, KkpVerdictParityWithBatchInjection) {
+  for (const auto& [name, g] : small_suite(40, 45)) {
+    auto marker = make_labels(g);
+    KkpVerifierProtocol pa(g), pb(g);
+    Simulation<KkpState> a(g, pa, pa.initial_states(marker));
+    a.set_async_drain(AsyncDrain::kSequential);
+    ThreadPool pool(4);
+    Simulation<KkpState> b(g, pb, pb.initial_states(marker), &pool);
+    b.set_async_drain(AsyncDrain::kParallel);
+    Rng da(11), db(11);
+    for (int u = 0; u < 8; ++u) {
+      a.async_unit(da, DaemonOrder::kRoundRobin);
+      b.async_unit(db, DaemonOrder::kRoundRobin);
+    }
+    ASSERT_TRUE(a.async_quiescent()) << name;
+    ASSERT_TRUE(b.async_quiescent()) << name;
+
+    // Same victims, same corruption draws, different injection surfaces.
+    Rng fa(17), fb(17);
+    auto va = pick_fault_nodes(g.n(), 5, fa);
+    auto vb = pick_fault_nodes(g.n(), 5, fb);
+    ASSERT_EQ(va, vb) << name;
+    for (NodeId v : va) pa.corrupt(a.state(v), v, fa);
+    inject_faults<KkpState>(pb, b, std::span<const NodeId>(vb), fb);
+    ASSERT_FALSE(a.async_quiescent()) << name;
+    ASSERT_FALSE(b.async_quiescent()) << name;
+
+    for (int u = 0; u < 8; ++u) {
+      a.async_unit(da, DaemonOrder::kRoundRobin);
+      b.async_unit(db, DaemonOrder::kRoundRobin);
+      for (NodeId v = 0; v < g.n(); ++v) {
+        ASSERT_TRUE(kkp_equal(a.cstate(v), b.cstate(v)))
+            << name << " unit " << u << " node " << v;
+      }
+    }
+    EXPECT_EQ(a.first_alarm_time(), b.first_alarm_time()) << name;
+    EXPECT_EQ(a.alarmed_nodes(), b.alarmed_nodes()) << name;
+    EXPECT_EQ(a.stats().activations, b.stats().activations) << name;
+    EXPECT_EQ(a.stats().effective_steps, b.stats().effective_steps) << name;
+    // Both engines re-quiesced on the same unit.
+    EXPECT_EQ(a.async_quiescent(), b.async_quiescent()) << name;
+  }
+}
+
+// Weak fairness survives the sharded path: nodes whose registers change
+// mid-unit (their own step) are re-enabled for the next unit through the
+// sharded marking, so the hot-node chain propagates exactly one hop per
+// unit — same pin as the sequential fairness test above, forced parallel.
+TEST(ShardedDrain, WeakFairnessHoldsUnderParallelDrain) {
+  Rng rng(50);
+  auto g = gen::path(6, rng);
+  LagProtocol proto;
+  std::vector<LagState> init(g.n());
+  init[0].hot = true;
+  ThreadPool pool(3);
+  Simulation<LagState> sim(g, proto, init, &pool);
+  sim.set_async_drain(AsyncDrain::kParallel);
+  Rng daemon(51);
+  const int units = 64;
+  for (int u = 0; u < units; ++u) {
+    sim.async_unit(daemon, DaemonOrder::kReverse);
+  }
+  const std::uint64_t head = sim.cstate(0).value;
+  EXPECT_EQ(head, std::uint64_t{units});
+  for (NodeId v = 1; v < g.n(); ++v) {
+    EXPECT_EQ(sim.cstate(v).value, head - v) << "node " << v;
+  }
+  // A 6-node path under kReverse conflicts everywhere: the drain is one
+  // adjacent chain, so nearly every activation defers past epoch 0.
+  EXPECT_GT(sim.stats().cross_shard_deferrals, 0u);
+}
+
+// Attaching or detaching the pool mid-run re-buckets the pending queues
+// without changing the enabled set: the schedule and all registers stay
+// identical to a run that never switched.
+TEST(ShardedDrain, PoolSwitchMidRunPreservesSchedule) {
+  Rng grng(46);
+  auto g = gen::random_connected(48, 96, grng);
+  auto marker = make_labels(g);
+  KkpVerifierProtocol pa(g), pb(g);
+  Simulation<KkpState> a(g, pa, pa.initial_states(marker));
+  a.set_async_drain(AsyncDrain::kSequential);
+  ThreadPool pool(4);
+  Simulation<KkpState> b(g, pb, pb.initial_states(marker));
+  Rng da(19), db(19), fa(23), fb(23);
+  auto step_both = [&](int count) {
+    for (int u = 0; u < count; ++u) {
+      a.async_unit(da, DaemonOrder::kRoundRobin);
+      b.async_unit(db, DaemonOrder::kRoundRobin);
+    }
+  };
+  step_both(3);
+  // Fault lands in the single-queue layout...
+  auto va = inject_faults<KkpState>(pa, a, 3, fa);
+  auto vb = inject_faults<KkpState>(pb, b, 3, fb);
+  ASSERT_EQ(va, vb);
+  // ...then the pool is attached mid-episode: pending activations are
+  // re-bucketed into per-shard queues, and the forced parallel drain must
+  // continue the exact sequential schedule.
+  b.set_thread_pool(&pool);
+  b.set_async_drain(AsyncDrain::kParallel);
+  step_both(4);
+  // And detached again, re-merging the shard queues into one.
+  b.set_thread_pool(nullptr);
+  step_both(4);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    ASSERT_TRUE(kkp_equal(a.cstate(v), b.cstate(v))) << "node " << v;
+  }
+  EXPECT_EQ(a.first_alarm_time(), b.first_alarm_time());
+  EXPECT_EQ(a.stats().activations, b.stats().activations);
+  EXPECT_EQ(a.stats().effective_steps, b.stats().effective_steps);
 }
 
 }  // namespace

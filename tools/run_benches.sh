@@ -1,22 +1,29 @@
 #!/usr/bin/env sh
 # Runs the perf-tracked benches once and merges their machine-readable
-# records into one JSON file (default BENCH_PR5.json) so the perf
+# records into one JSON file (default BENCH_PR6.json) so the perf
 # trajectory is tracked across PRs instead of prose-only in CHANGES.md.
 #
 # Usage: tools/run_benches.sh <build-dir> [out.json] [max-n]
 #
 #   build-dir  directory containing the bench binaries (e.g. build)
-#   out.json   merged output file              (default: BENCH_PR5.json)
+#   out.json   merged output file              (default: BENCH_PR6.json)
 #   max-n      scale-section size for the table benches
 #              (default: 1048576 = 2^20; use e.g. 16384 for a quick smoke)
 set -eu
 
 build=${1:?usage: tools/run_benches.sh <build-dir> [out.json] [max-n]}
-out=${2:-BENCH_PR5.json}
+out=${2:-BENCH_PR6.json}
 max_n=${3:-1048576}
 
+# The sharded-drain rows at 2^20 take minutes; smoke runs keep only the
+# 2^17 rows of BM_AsyncDrainParallel.
+micro_filter='BM_SimSyncRound|BM_VerifierRound|BM_AsyncUnit|BM_AsyncDrainParallel/131072'
+if [ "$max_n" -ge 1048576 ]; then
+  micro_filter='BM_SimSyncRound|BM_VerifierRound|BM_AsyncUnit|BM_AsyncDrainParallel'
+fi
+
 "$build/bench_micro" --json="$out" \
-  --benchmark_filter='BM_SimSyncRound|BM_VerifierRound|BM_AsyncUnit'
+  --benchmark_filter="$micro_filter"
 "$build/bench_labels_memory" --max-n="$max_n" --json="$out"
 "$build/bench_detection_sync" 1 --max-n="$max_n" --json="$out"
 "$build/bench_detection_async" 1 --max-n="$max_n" --json="$out"
