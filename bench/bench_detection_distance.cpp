@@ -38,9 +38,8 @@ int main() {
       auto res = h.measure_detection(victims, 1u << 22,
                                      /*slack=*/4 * (ceil_log2(n) + 2) *
                                          (ceil_log2(n) + 2));
-      if (res.detected &&
-          res.distance != std::numeric_limits<std::uint32_t>::max()) {
-        worst = std::max(worst, res.distance);
+      if (res.detected && res.distance) {
+        worst = std::max(worst, *res.distance);
       }
     }
     t.add_row({Table::num(std::uint64_t{f}), Table::num(std::uint64_t{worst}),

@@ -45,7 +45,7 @@ int main() {
               (ceil_log2(256) + 1) * (ceil_log2(256) + 1));
   std::printf("alarming nodes: %zu, detection distance: %u hops "
               "(part diameter is O(log n))\n",
-              res.alarming.size(), res.distance);
+              res.alarming.size(), res.distance.value_or(0));
   for (const auto& ev : harness.protocol().alarm_trace()) {
     std::printf("  node %u: %s\n", ev.node, ev.detail.c_str());
     break;  // first alarm is enough for the demo

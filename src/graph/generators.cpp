@@ -151,6 +151,59 @@ WeightedGraph random_bounded_degree(NodeId n, std::uint32_t max_deg,
   return build(n, std::move(ends), rng);
 }
 
+WeightedGraph power_law(NodeId n, std::uint32_t attach, Rng& rng) {
+  if (n < 2) throw std::invalid_argument("power_law needs n >= 2");
+  if (attach == 0) throw std::invalid_argument("attach must be >= 1");
+  std::vector<std::pair<NodeId, NodeId>> ends;
+  // Endpoint multiset: sampling uniformly from it is degree-proportional
+  // sampling, the classic Barabasi-Albert trick.
+  std::vector<NodeId> endpoints;
+  std::vector<NodeId> picked;
+  for (NodeId v = 1; v < n; ++v) {
+    const std::uint32_t k = std::min<std::uint32_t>(attach, v);
+    picked.clear();
+    while (picked.size() < k) {
+      // Degree-proportional draw with a uniform fallback so duplicate
+      // targets can't stall small dense prefixes.
+      NodeId t = endpoints.empty()
+                     ? static_cast<NodeId>(rng.below(v))
+                     : endpoints[rng.below(endpoints.size())];
+      if (std::find(picked.begin(), picked.end(), t) != picked.end()) {
+        t = static_cast<NodeId>(rng.below(v));
+        if (std::find(picked.begin(), picked.end(), t) != picked.end()) {
+          continue;
+        }
+      }
+      picked.push_back(t);
+    }
+    for (NodeId t : picked) {
+      ends.push_back({t, v});
+      endpoints.push_back(t);
+      endpoints.push_back(v);
+    }
+  }
+  return build(n, std::move(ends), rng);
+}
+
+WeightedGraph expander(NodeId n, std::uint32_t matchings, Rng& rng) {
+  if (n < 3) throw std::invalid_argument("expander needs n >= 3");
+  std::vector<std::pair<NodeId, NodeId>> ends;
+  std::set<std::pair<NodeId, NodeId>> present;
+  auto add = [&](NodeId u, NodeId v) {
+    const auto key = std::pair{std::min(u, v), std::max(u, v)};
+    if (!present.insert(key).second) return;
+    ends.push_back(key);
+  };
+  for (NodeId v = 0; v < n; ++v) add(v, (v + 1) % n);
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  for (std::uint32_t m = 0; m < matchings; ++m) {
+    rng.shuffle(perm);
+    for (NodeId i = 0; i + 1 < n; i += 2) add(perm[i], perm[i + 1]);
+  }
+  return build(n, std::move(ends), rng);
+}
+
 WeightedGraph figure1_example() {
   // 18 nodes named a..r (indices 0..17). A fixed weighted graph whose MST
   // produces a multi-level fragment hierarchy akin to the paper's Figure 1.

@@ -35,6 +35,18 @@ WeightedGraph random_connected(NodeId n, NodeId extra_edges, Rng& rng);
 WeightedGraph random_bounded_degree(NodeId n, std::uint32_t max_deg,
                                     NodeId extra_edges, Rng& rng);
 
+/// Power-law (preferential-attachment) graph: each new node attaches
+/// `attach` edges (clamped to the number of existing nodes) to targets
+/// sampled proportionally to degree. Connected by construction; produces
+/// the hub-heavy degree distributions the star family only caricatures.
+WeightedGraph power_law(NodeId n, std::uint32_t attach, Rng& rng);
+
+/// Bounded-degree expander-style graph: a Hamiltonian cycle (guaranteeing
+/// connectivity) plus `matchings` random near-perfect matchings, skipping
+/// pairs that would duplicate an edge. Maximum degree <= 2 + matchings;
+/// needs n >= 3.
+WeightedGraph expander(NodeId n, std::uint32_t matchings, Rng& rng);
+
 /// The 18-node running example analogous to the paper's Figure 1 (nodes
 /// named a..r; see examples/figure1_walkthrough). Deterministic.
 WeightedGraph figure1_example();

@@ -46,6 +46,9 @@ class GhsBoruvkaProtocol final : public Protocol<GhsState> {
             std::uint64_t time) override;
   std::size_t state_bits(const GhsState& s, NodeId v) const override;
 
+  /// Randomized type-valid corruption (see SyncMstProtocol::corrupt).
+  void corrupt(GhsState& s, NodeId v, Rng& rng) const override;
+
   std::vector<GhsState> initial_states() const;
 
  private:

@@ -246,6 +246,45 @@ void SyncMstProtocol::step(NodeId v, SyncMstState& self,
   }
 }
 
+void SyncMstProtocol::corrupt(SyncMstState& s, NodeId v, Rng& rng) const {
+  const std::uint32_t deg = g_->degree(v);
+  auto any_port = [&] {
+    const auto p = static_cast<std::uint32_t>(rng.below(deg + 1));
+    return p == deg ? kNoPort : p;
+  };
+  auto any_id = [&] { return rng.below(2ULL * g_->n() + 2); };
+  auto any_phase = [&] {
+    return static_cast<std::int32_t>(rng.below(ceil_log2(g_->n() + 1) + 2)) -
+           1;
+  };
+  auto any_w = [&] { return static_cast<Weight>(rng.below(3ULL * g_->m() + 3)); };
+  s.parent_port = any_port();
+  s.root_id = any_id();
+  s.level = static_cast<std::uint32_t>(rng.below(ceil_log2(g_->n() + 1) + 1));
+  s.count_phase = any_phase();
+  s.count_ttl = static_cast<std::uint32_t>(rng.below(2ULL * g_->n() + 2));
+  s.count_echo_phase = any_phase();
+  s.count_echo = static_cast<std::uint32_t>(rng.below(g_->n() + 1));
+  s.count_done = rng.chance(0.5);
+  s.active = rng.chance(0.5);
+  s.find_phase = any_phase();
+  s.own_cand_exists = rng.chance(0.5);
+  s.own_cand_w = any_w();
+  s.own_cand_idmin = any_id();
+  s.own_cand_idmax = any_id();
+  s.own_cand_port = any_port();
+  s.found_phase = any_phase();
+  s.cand_exists = rng.chance(0.5);
+  s.cand_is_own = rng.chance(0.5);
+  s.cand_w = any_w();
+  s.cand_idmin = any_id();
+  s.cand_idmax = any_id();
+  s.cand_src_port = any_port();
+  s.transfer_phase = any_phase();
+  s.spans_root = rng.chance(0.5);
+  s.done = rng.chance(0.5);
+}
+
 std::size_t SyncMstProtocol::state_bits(const SyncMstState& s,
                                         NodeId v) const {
   const int port_bits = bits_for_values(g_->degree(v) + 2);

@@ -71,6 +71,13 @@ class SyncMstProtocol final : public Protocol<SyncMstState> {
             std::uint64_t time) override;
   std::size_t state_bits(const SyncMstState& s, NodeId v) const override;
 
+  /// Randomized type-valid corruption of the whole register: ports in
+  /// [0, deg) or kNoPort, ids/weights/phases in their model ranges, flags
+  /// random. SYNC_MST is not self-stabilizing, so stepping a corrupted
+  /// instance is out of contract — this exists for the fault-campaign
+  /// machinery's override-coverage pin and for transformer experiments.
+  void corrupt(SyncMstState& s, NodeId v, Rng& rng) const override;
+
   /// Initial registers: every node a level-0 singleton root.
   std::vector<SyncMstState> initial_states() const;
 

@@ -46,6 +46,15 @@ class ResetProtocol final : public Protocol<ResetState> {
     return 3;
   }
 
+  /// Randomized type-valid corruption: any of the 8 flag combinations,
+  /// including inconsistent ones (settled without in_reset) the wave must
+  /// recover from.
+  void corrupt(ResetState& s, NodeId, Rng& rng) const override {
+    s.in_reset = rng.chance(0.5);
+    s.seeded = rng.chance(0.5);
+    s.settled = rng.chance(0.5);
+  }
+
  private:
   const WeightedGraph* g_;
 };

@@ -103,6 +103,16 @@ class Synchronizer final : public Protocol<SynchronizedState<Inner>> {
            inner_->state_phys_bytes(s.cur) + inner_->state_phys_bytes(s.prev);
   }
 
+  /// Type-valid corruption forwards to the wrapped protocol for both
+  /// buffered copies (they need not agree after a fault) and randomizes the
+  /// pulse, so neighbouring pulses can disagree by more than the one step
+  /// the synchronizer normally maintains.
+  void corrupt(State& s, NodeId v, Rng& rng) const override {
+    inner_->corrupt(s.cur, v, rng);
+    inner_->corrupt(s.prev, v, rng);
+    s.pulse = rng.below(1u << 20);
+  }
+
  private:
   const WeightedGraph* g_;
   Protocol<Inner>* inner_;

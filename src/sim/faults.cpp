@@ -7,6 +7,8 @@
 namespace ssmst {
 
 std::vector<NodeId> pick_fault_nodes(NodeId n, std::size_t f, Rng& rng) {
+  // Clamp (see the header contract): n == 0 falls through to an empty
+  // vector, f >= n to a random permutation of all n nodes.
   std::vector<NodeId> all(n);
   std::iota(all.begin(), all.end(), NodeId{0});
   rng.shuffle(all);
@@ -14,11 +16,11 @@ std::vector<NodeId> pick_fault_nodes(NodeId n, std::size_t f, Rng& rng) {
   return all;
 }
 
-std::uint32_t detection_distance(const WeightedGraph& g,
-                                 const std::vector<NodeId>& faulty,
-                                 const std::vector<NodeId>& alarming) {
+std::optional<std::uint32_t> detection_distance(
+    const WeightedGraph& g, const std::vector<NodeId>& faulty,
+    const std::vector<NodeId>& alarming) {
   if (faulty.empty()) return 0;
-  if (alarming.empty()) return std::numeric_limits<std::uint32_t>::max();
+  if (alarming.empty()) return std::nullopt;
   std::uint32_t worst = 0;
   for (NodeId f : faulty) {
     const auto dist = g.bfs_distances(f);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -9,7 +10,13 @@
 
 namespace ssmst {
 
-/// Picks `f` distinct fault locations uniformly at random.
+/// Picks distinct fault locations uniformly at random.
+///
+/// Contract: returns exactly `min(f, n)` distinct nodes — an oversized
+/// request is *clamped*, never looped on and never padded with duplicates,
+/// and `n == 0` yields an empty set. Callers that need to know how many
+/// faults actually landed must use the returned vector's size, not `f`
+/// (campaign storms request per-wave counts that can exceed small graphs).
 std::vector<NodeId> pick_fault_nodes(NodeId n, std::size_t f, Rng& rng);
 
 /// Applies the protocol's adversarial corruption to `f` random nodes of a
@@ -62,10 +69,13 @@ std::vector<NodeId> inject_faults(const Protocol<State>& proto,
 
 /// Detection distance (Section 2.4): for each faulty node, the hop distance
 /// to the nearest node that raised an alarm; the scheme's detection distance
-/// is the maximum over faulty nodes. Returns max distance, or
-/// UINT32_MAX if some fault has no alarming node at all.
-std::uint32_t detection_distance(const WeightedGraph& g,
-                                 const std::vector<NodeId>& faulty,
-                                 const std::vector<NodeId>& alarming);
+/// is the maximum over faulty nodes. Returns nullopt when faults exist but
+/// no node alarmed — there is no distance to report, and the old UINT32_MAX
+/// sentinel used to leak into medians and --json aggregates as a plain
+/// number. Undetected runs must be counted separately (an explicit
+/// `detected=false`), never folded into distance statistics.
+std::optional<std::uint32_t> detection_distance(
+    const WeightedGraph& g, const std::vector<NodeId>& faulty,
+    const std::vector<NodeId>& alarming);
 
 }  // namespace ssmst

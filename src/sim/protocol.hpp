@@ -6,6 +6,7 @@
 #include <cstring>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <type_traits>
 #include <vector>
 
@@ -260,11 +261,20 @@ class Protocol {
   /// Whether the node is currently raising an alarm ("output no").
   virtual bool alarmed(const State& /*s*/) const { return false; }
 
-  /// Adversarial corruption: replace the state by an arbitrary type-valid
-  /// value. Default: value-initialize (a "reset to garbage-zero" fault);
-  /// protocols override with genuinely randomized corruption.
-  virtual void corrupt(State& s, NodeId /*v*/, Rng& /*rng*/) const {
-    s = State{};
+  /// Adversarial corruption: replace the state by an arbitrary *type-valid*
+  /// value drawn from `rng`. Only the protocol knows which bit patterns are
+  /// type-valid for its register (ports must stay in range or kNoPort,
+  /// stripe views must keep their arena coordinates), so every protocol
+  /// that participates in fault injection MUST override this. The default
+  /// fails loudly: the old value-initializing default made campaigns
+  /// against a protocol that forgot to override report vacuous "detections"
+  /// of a barely-perturbed (or, for zero-initialized states, untouched)
+  /// register. Tests pin the throw and the per-protocol override coverage
+  /// (tests/test_campaign_fuzz.cpp).
+  virtual void corrupt(State& /*s*/, NodeId /*v*/, Rng& /*rng*/) const {
+    throw std::logic_error(
+        "Protocol::corrupt not overridden: fault injection would be a "
+        "silent near-no-op; implement randomized type-valid corruption");
   }
 };
 

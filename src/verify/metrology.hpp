@@ -9,12 +9,18 @@
 
 namespace ssmst {
 
-/// Outcome of a detection experiment.
+/// Outcome of a detection experiment. `detected` is the authoritative
+/// flag: when false, `detection_time` and `distance` carry no information
+/// (distance is nullopt rather than the old UINT32_MAX sentinel, which
+/// used to flow into medians and --json aggregates as a plain number) and
+/// aggregators must count the run as undetected instead of folding it into
+/// latency/distance statistics.
 struct DetectionResult {
   bool detected = false;
   std::uint64_t detection_time = 0;  ///< units from injection to first alarm
   std::vector<NodeId> alarming;      ///< all nodes alarmed by that time + slack
-  std::uint32_t distance = 0;        ///< detection distance (Section 2.4)
+  /// Detection distance (Section 2.4); nullopt when no node alarmed.
+  std::optional<std::uint32_t> distance;
   SimulationStats sim;               ///< engine accounting at measurement end
 };
 

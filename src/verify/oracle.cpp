@@ -1,0 +1,129 @@
+#include "verify/oracle.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "labels/marker.hpp"
+
+namespace ssmst::oracle {
+
+Dsu::Dsu(std::size_t n)
+    : parent_(n), size_(n, 1), components_(n) {
+  std::iota(parent_.begin(), parent_.end(), std::uint32_t{0});
+}
+
+std::uint32_t Dsu::find(std::uint32_t i) {
+  if (parent_[i] == i) return i;
+  return parent_[i] = find(parent_[i]);
+}
+
+bool Dsu::unite(std::uint32_t a, std::uint32_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --components_;
+  return true;
+}
+
+std::vector<std::uint32_t> reference_mst_edges(const WeightedGraph& g) {
+  const auto& edges = g.edges();
+  std::vector<std::uint32_t> order(edges.size());
+  std::iota(order.begin(), order.end(), std::uint32_t{0});
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return edges[a].w < edges[b].w;
+  });
+  Dsu dsu(g.n());
+  std::vector<std::uint32_t> mst;
+  mst.reserve(g.n() > 0 ? g.n() - 1 : 0);
+  for (std::uint32_t e : order) {
+    if (dsu.unite(edges[e].u, edges[e].v)) mst.push_back(e);
+  }
+  std::sort(mst.begin(), mst.end());
+  return mst;
+}
+
+OracleReport check_precondition(const WeightedGraph& g) {
+  if (g.n() == 0) return {false, "empty graph"};
+  Dsu dsu(g.n());
+  std::unordered_map<Weight, std::uint32_t> seen;
+  seen.reserve(g.edges().size());
+  for (std::uint32_t e = 0; e < g.edges().size(); ++e) {
+    const Edge& edge = g.edges()[e];
+    const auto [it, fresh] = seen.emplace(edge.w, e);
+    if (!fresh) {
+      return {false, "duplicate weight " + std::to_string(edge.w) +
+                         " at edges " + std::to_string(it->second) + " and " +
+                         std::to_string(e)};
+    }
+    dsu.unite(edge.u, edge.v);
+  }
+  if (dsu.components() != 1) {
+    return {false, "disconnected: " + std::to_string(dsu.components()) +
+                       " components"};
+  }
+  return {};
+}
+
+OracleReport check_tree_is_mst(
+    const WeightedGraph& g, const std::vector<std::uint32_t>& parent_ports) {
+  if (parent_ports.size() != g.n()) {
+    return {false, "parent_ports size " + std::to_string(parent_ports.size()) +
+                       " != n " + std::to_string(g.n())};
+  }
+  Dsu dsu(g.n());
+  std::vector<std::uint32_t> tree;
+  tree.reserve(g.n() > 0 ? g.n() - 1 : 0);
+  std::size_t roots = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const std::uint32_t port = parent_ports[v];
+    if (port == kNoPort) {
+      ++roots;
+      continue;
+    }
+    if (port >= g.degree(v)) {
+      return {false, "node " + std::to_string(v) + " parent port " +
+                         std::to_string(port) + " out of range"};
+    }
+    const HalfEdge& he = g.half_edge(v, port);
+    if (!dsu.unite(v, he.to)) {
+      return {false, "parent edges close a cycle at node " +
+                         std::to_string(v)};
+    }
+    tree.push_back(he.edge_index);
+  }
+  if (roots != 1) {
+    return {false, std::to_string(roots) + " roots (want exactly 1)"};
+  }
+  if (dsu.components() != 1) {
+    return {false, "parent edges span " + std::to_string(dsu.components()) +
+                       " components"};
+  }
+  std::sort(tree.begin(), tree.end());
+  const std::vector<std::uint32_t> want = reference_mst_edges(g);
+  if (tree != want) {
+    // Distinct weights make the MST unique, so any mismatch names a
+    // concrete wrong edge.
+    for (std::size_t i = 0; i < tree.size() && i < want.size(); ++i) {
+      if (tree[i] != want[i]) {
+        const Edge& got = g.edges()[tree[i]];
+        return {false, "marked tree uses edge (" + std::to_string(got.u) +
+                           "," + std::to_string(got.v) + ",w=" +
+                           std::to_string(got.w) + ") not in the true MST"};
+      }
+    }
+    return {false, "marked tree has " + std::to_string(tree.size()) +
+                       " edges, true MST has " + std::to_string(want.size())};
+  }
+  return {};
+}
+
+OracleReport check_marked_instance(const WeightedGraph& g,
+                                   const MarkerOutput& marker) {
+  return check_tree_is_mst(g, marker.parent_ports());
+}
+
+}  // namespace ssmst::oracle

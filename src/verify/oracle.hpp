@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ssmst {
+struct MarkerOutput;
+}
+
+namespace ssmst::oracle {
+
+/// Differential MST oracle: an *independent* ground-truth checker used by
+/// the fault-campaign fuzz suite to assert that what the marker/verifier
+/// stack calls an MST really is the unique minimum spanning tree.
+///
+/// Deliberately shares no code with the library it checks: the DSU here is
+/// path-compressed union-by-SIZE (graph/mst.cpp's `UnionFind` is
+/// union-by-rank), and the Kruskal reference below sorts raw edge indices
+/// by weight rather than reusing `kruskal_mst_edges`. The marker tree under
+/// test comes from the SYNC_MST fragment dynamics replay
+/// (mstalgo/reference_hierarchy), so agreement between the two is a real
+/// differential signal, not one implementation checking itself.
+
+/// Disjoint-set union with recursive path compression and union by size.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n);
+  std::uint32_t find(std::uint32_t i);
+  /// Merges the sets of `a` and `b`; returns false if already joined.
+  bool unite(std::uint32_t a, std::uint32_t b);
+  std::size_t components() const { return components_; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t components_;
+};
+
+/// Verdict of an oracle check. `ok == false` carries a human-readable
+/// reason in `detail` (included verbatim in fuzz-failure messages, next to
+/// the episode's replay seed).
+struct OracleReport {
+  bool ok = true;
+  std::string detail;
+};
+
+/// The edge-index set of the unique MST, recomputed from scratch by
+/// Kruskal over the oracle's own Dsu. Requires distinct weights (checked
+/// by `check_precondition`); ties would make "the" MST ambiguous, so the
+/// oracle refuses rather than guesses — call check_precondition first.
+std::vector<std::uint32_t> reference_mst_edges(const WeightedGraph& g);
+
+/// The MST-uniqueness precondition every campaign graph must satisfy:
+/// connected (via the oracle's Dsu, not WeightedGraph::is_connected) and
+/// pairwise-distinct edge weights. Generators are fuzzed against this.
+OracleReport check_precondition(const WeightedGraph& g);
+
+/// Checks that a parent-port encoding (kNoPort at the root, as produced by
+/// MarkerOutput::parent_ports) describes exactly the true MST: exactly one
+/// root, every port valid, the n-1 parent edges acyclic and spanning, and
+/// the edge set identical to `reference_mst_edges`. With distinct weights
+/// the MST is unique, so set equality is the full correctness statement.
+OracleReport check_tree_is_mst(const WeightedGraph& g,
+                               const std::vector<std::uint32_t>& parent_ports);
+
+/// Convenience: checks a marked instance's tree (marker.parent_ports()).
+OracleReport check_marked_instance(const WeightedGraph& g,
+                                   const MarkerOutput& marker);
+
+}  // namespace ssmst::oracle

@@ -132,6 +132,10 @@ class SeededToy final : public Protocol<ToyState> {
     return 8 + static_cast<std::size_t>(s.value % 57);
   }
   bool alarmed(const ToyState& s) const override { return s.alarm; }
+  void corrupt(ToyState& s, NodeId, Rng& rng) const override {
+    s.value = rng.next() % 97;
+    s.alarm = rng.chance(0.5);
+  }
 };
 
 class ZeroCopyToy final : public Protocol<ToyState> {
@@ -155,6 +159,10 @@ class ZeroCopyToy final : public Protocol<ToyState> {
     return 8 + static_cast<std::size_t>(s.value % 57);
   }
   bool alarmed(const ToyState& s) const override { return s.alarm; }
+  void corrupt(ToyState& s, NodeId, Rng& rng) const override {
+    s.value = rng.next() % 97;
+    s.alarm = rng.chance(0.5);
+  }
 };
 
 std::vector<WeightedGraph> equivalence_graphs() {

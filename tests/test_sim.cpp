@@ -408,6 +408,20 @@ TEST(Faults, PickFaultNodesDistinct) {
   EXPECT_EQ(uniq.size(), 5u);
 }
 
+TEST(Faults, PickFaultNodesClampsOversizedRequests) {
+  // The documented contract: exactly min(f, n) distinct victims, no
+  // looping, no duplicate padding; n == 0 yields an empty set.
+  Rng rng(6);
+  auto victims = pick_fault_nodes(7, 100, rng);
+  EXPECT_EQ(victims.size(), 7u);
+  std::set<NodeId> uniq(victims.begin(), victims.end());
+  EXPECT_EQ(uniq.size(), 7u);
+  EXPECT_EQ(pick_fault_nodes(7, 7, rng).size(), 7u);
+  EXPECT_TRUE(pick_fault_nodes(7, 0, rng).empty());
+  EXPECT_TRUE(pick_fault_nodes(0, 5, rng).empty());
+  EXPECT_TRUE(pick_fault_nodes(0, 0, rng).empty());
+}
+
 TEST(Faults, InjectUsesProtocolCorruption) {
   Rng rng(7);
   auto g = gen::path(6, rng);
@@ -426,9 +440,9 @@ TEST(Faults, DetectionDistance) {
   EXPECT_EQ(detection_distance(g, {0}, {3, 7}), 3u);
   // faults at 0 and 9 -> distances 3 and 2 -> max 3.
   EXPECT_EQ(detection_distance(g, {0, 9}, {3, 7}), 3u);
-  // no alarms -> "infinite".
-  EXPECT_EQ(detection_distance(g, {0}, {}),
-            std::numeric_limits<std::uint32_t>::max());
+  // No alarms: there is no distance — nullopt, not a UINT32_MAX sentinel
+  // that poisons medians (the PR 7 sentinel regression).
+  EXPECT_EQ(detection_distance(g, {0}, {}), std::nullopt);
   // fault node itself alarming -> 0.
   EXPECT_EQ(detection_distance(g, {4}, {4}), 0u);
 }

@@ -94,7 +94,8 @@ TEST(Verifier, DetectsTamperedPermanentPiece) {
   auto res = h.measure_detection({victim}, quiet_budget(64), 50);
   EXPECT_TRUE(res.detected);
   // Detection distance O(log n) for a single fault (Theorem 8.5).
-  EXPECT_LE(res.distance, 10 * (ceil_log2(64) + 2));
+  ASSERT_TRUE(res.distance.has_value());
+  EXPECT_LE(*res.distance, 10 * (ceil_log2(64) + 2));
 }
 
 TEST(Verifier, DetectsComponentCorruption) {
