@@ -13,6 +13,12 @@
 // fixes.
 //
 // Usage: bench_campaign [threads] [--episodes=K] [--n=N] [--json=path]
+//
+// Replay mode: bench_campaign --replay-seed=N --class=<name> --family=<name>
+//   [--n=N] re-runs exactly one episode (the seed a FAILED line or an
+//   EpisodeResult reports) with verbose per-episode output — deterministic
+//   in (class, family, n, seed), so a campaign failure reproduces under a
+//   debugger without re-sweeping the whole table.
 
 #include <cstdio>
 #include <string>
@@ -25,11 +31,53 @@
 using namespace ssmst;
 using namespace ssmst::campaign;
 
+namespace {
+
+/// Replays one episode from its recorded seed; returns the process exit
+/// code (0 iff the episode passes its oracle + detection checks).
+int replay_episode(int argc, char** argv, std::uint64_t seed) {
+  const std::string cls_name = arg_value(argc, argv, "--class");
+  const std::string fam_name = arg_value(argc, argv, "--family");
+  const auto cls = parse_class(cls_name);
+  const auto fam = parse_family(fam_name);
+  if (!cls || !fam) {
+    std::fprintf(stderr,
+                 "--replay-seed needs --class=<name> and --family=<name> "
+                 "(got class='%s' family='%s')\n",
+                 cls_name.c_str(), fam_name.c_str());
+    return 2;
+  }
+  CampaignConfig cfg;
+  cfg.cls = *cls;
+  cfg.family = *fam;
+  cfg.n = static_cast<NodeId>(arg_u64(argc, argv, "--n", 96));
+  const EpisodeResult e = run_episode(cfg, seed);
+  std::printf("replay class=%s family=%s n=%u seed=%llu\n",
+              campaign_name(cfg.cls), family_name(cfg.family), e.n,
+              static_cast<unsigned long long>(e.seed));
+  std::printf("  ok=%d skipped=%d detected=%d expected=%d faults=%zu\n",
+              int(e.ok), int(e.skipped), int(e.detected),
+              int(e.detection_expected), e.faults_landed);
+  if (e.detected) {
+    std::printf("  detection_units=%llu distance=%s\n",
+                static_cast<unsigned long long>(e.detection_units),
+                e.distance ? std::to_string(*e.distance).c_str() : "-");
+  }
+  if (!e.error.empty()) std::printf("  error: %s\n", e.error.c_str());
+  return (e.ok || e.skipped) ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const unsigned threads = threads_from_argv(argc, argv);
   const std::size_t episodes = arg_u64(argc, argv, "--episodes", 8);
   const NodeId n = static_cast<NodeId>(arg_u64(argc, argv, "--n", 96));
   const std::string json_path = arg_value(argc, argv, "--json");
+  if (const std::uint64_t replay = arg_u64(argc, argv, "--replay-seed", 0);
+      replay != 0) {
+    return replay_episode(argc, argv, replay);
+  }
   BenchJson json;
   BatchRunner runner(threads);
 

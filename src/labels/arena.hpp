@@ -212,6 +212,14 @@ class LabelArena {
   Piece* perm(std::uint32_t off) { return perm_.data() + off; }
   const Piece* perm(std::uint32_t off) const { return perm_.data() + off; }
 
+  /// Live element counts per stripe: the exclusive upper bounds a label
+  /// header's (offset, length) coordinates must respect. The total-state
+  /// fault auditor (VerifierProtocol::audit_state) checks every adopted
+  /// register's slice against these, so a corrupted header can be caught
+  /// before any stripe view reads through it.
+  std::size_t levels_size() const { return levels_.size(); }
+  std::size_t perm_size() const { return perm_.size(); }
+
   /// Bytes of live stripe content currently allocated (the compact
   /// register file's out-of-header footprint).
   std::size_t live_bytes() const {

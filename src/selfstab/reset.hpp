@@ -65,6 +65,13 @@ class ResetProtocol final : public Protocol<ResetState> {
 /// default; `legacy_sweep` restores the full-sweep daemon). The wave
 /// quiesces in the activation queue once settled — nodes outside the
 /// frontier cost nothing per unit.
+///
+/// This is also the watchdog's escalation path (total-state fault model;
+/// sim/simulation.hpp class comment): when Simulation::watchdog_escalated()
+/// reports that repeated audit-failing trips are not cleared by the round-0
+/// reseed — the fault lives in state the reseed cannot rewrite, e.g. a
+/// corrupted label header — the experiment layer floods a reset from the
+/// audit's suspect set and re-marks the instance instead of reseeding again.
 std::uint64_t run_reset(const WeightedGraph& g,
                         const std::vector<NodeId>& seeds, bool sync_mode,
                         Rng& daemon, DaemonOrder order = DaemonOrder::kRandom,

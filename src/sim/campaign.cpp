@@ -56,8 +56,31 @@ const char* campaign_name(CampaignClass c) {
     case CampaignClass::kStorm: return "storm";
     case CampaignClass::kPieceTamper: return "piece_tamper";
     case CampaignClass::kNonMstMark: return "nonmst_mark";
+    case CampaignClass::kAuxQueueDrop: return "aux_queue_drop";
+    case CampaignClass::kStampSkew: return "stamp_skew";
+    case CampaignClass::kArenaTruncate: return "arena_truncate";
   }
   return "?";
+}
+
+bool is_aux_class(CampaignClass c) {
+  return c == CampaignClass::kAuxQueueDrop ||
+         c == CampaignClass::kStampSkew ||
+         c == CampaignClass::kArenaTruncate;
+}
+
+std::optional<CampaignClass> parse_class(std::string_view name) {
+  for (CampaignClass c : kAllClasses) {
+    if (name == campaign_name(c)) return c;
+  }
+  return std::nullopt;
+}
+
+std::optional<GraphFamily> parse_family(std::string_view name) {
+  for (GraphFamily f : kAllFamilies) {
+    if (name == family_name(f)) return f;
+  }
+  return std::nullopt;
 }
 
 namespace {
@@ -82,8 +105,16 @@ std::vector<NodeId> correlated_victims(const WeightedGraph& g, std::size_t f,
 EpisodeResult run_episode(const CampaignConfig& cfg, std::uint64_t seed) {
   EpisodeResult r;
   r.seed = seed;
+  const bool aux = is_aux_class(cfg.cls);
+  // Aux-state classes are must-detect exactly when the watchdog is armed:
+  // it IS their detection mechanism (class comment in the header). With it
+  // off they record the missed-detection baseline instead of failing.
+  const bool wd_on =
+      cfg.watchdog == Watchdog::kOn ||
+      (cfg.watchdog == Watchdog::kAuto && aux);
   r.detection_expected = cfg.cls == CampaignClass::kPieceTamper ||
-                         cfg.cls == CampaignClass::kNonMstMark;
+                         cfg.cls == CampaignClass::kNonMstMark ||
+                         (aux && wd_on);
   Rng root(seed);
   Rng grng = root.split();
   Rng frng = root.split();
@@ -174,6 +205,11 @@ EpisodeResult run_episode(const CampaignConfig& cfg, std::uint64_t seed) {
     return r;
   }
 
+  if (wd_on) {
+    sim.set_watchdog(cfg.watchdog_budget != 0 ? cfg.watchdog_budget
+                                              : watchdog_budget_for(g.n()));
+  }
+
   std::vector<NodeId> victims;
   const std::uint64_t t0 = sim.time();
   switch (cfg.cls) {
@@ -211,6 +247,37 @@ EpisodeResult run_episode(const CampaignConfig& cfg, std::uint64_t seed) {
       victims.push_back(*victim);
       break;
     }
+    case CampaignClass::kAuxQueueDrop: {
+      // The motivating total-state fault: a load-bearing register lie
+      // whose activation evidence is then consistently wiped from queue
+      // and bitmap — every local invariant still holds, so only the
+      // watchdog's periodic reseed can resurface the victim.
+      const auto victim = h->tamper_loadbearing_piece(frng.next() % 1024);
+      if (!victim) {
+        r.skipped = true;
+        r.error = "no load-bearing piece on this instance";
+        return r;
+      }
+      victims.push_back(*victim);
+      sim.aux_suppress_pending();
+      break;
+    }
+    case CampaignClass::kStampSkew:
+      victims = pick_fault_nodes(g.n(), cfg.faults, frng);
+      aux_skew_stamps(sim, std::span<const NodeId>(victims),
+                      skewed_stamp(sim.time(), std::uint32_t{1} << 20));
+      break;
+    case CampaignClass::kArenaTruncate:
+      victims = pick_fault_nodes(g.n(), cfg.faults, frng);
+      aux_silent_mutate(sim, std::span<const NodeId>(victims),
+                        [](NodeId, VerifierState& s) {
+                          const auto len = s.labels.string_length();
+                          if (len > 0) {
+                            s.labels.set_string_length(
+                                static_cast<std::uint32_t>(len - 1));
+                          }
+                        });
+      break;
     default:
       break;
   }
@@ -218,18 +285,48 @@ EpisodeResult run_episode(const CampaignConfig& cfg, std::uint64_t seed) {
   victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
   r.faults_landed = victims.size();
 
-  const auto first = run_until_alarm(budget);
+  // Detection is either a protocol alarm or — for faults with no register
+  // symptom a node could ever alarm on — a watchdog-trip audit reporting
+  // violations (stamp skew, header truncation). Audits run only at trips,
+  // so the violation counter moving IS the engine-level detection event.
+  const auto viol0 = sim.stats().audit_violations;
+  bool via_audit = false;
+  auto detect = [&](std::uint64_t units) -> std::optional<std::uint64_t> {
+    for (std::uint64_t i = 0; i < units; ++i) {
+      if (auto t = sim.first_alarm_time()) return t;
+      if (sim.stats().audit_violations > viol0) {
+        via_audit = true;
+        return sim.time();
+      }
+      step();
+    }
+    if (auto t = sim.first_alarm_time()) return t;
+    if (sim.stats().audit_violations > viol0) {
+      via_audit = true;
+      return sim.time();
+    }
+    return std::nullopt;
+  };
+
+  const auto first = detect(budget);
   r.detected = first.has_value();
   if (r.detected) {
     r.detection_units = *first - t0;
-    for (std::uint64_t i = 0; i < cfg.slack; ++i) step();
-    r.distance = detection_distance(g, victims, sim.alarmed_nodes());
-    if (!r.distance) {
-      r.error = "detected but alarm set empty";  // unreachable by contract
-      return r;
+    if (via_audit) {
+      // Engine-level detection: no alarming node to measure a hop
+      // distance to (mirrors the kNonMstMark convention).
+      r.distance = 0;
+    } else {
+      for (std::uint64_t i = 0; i < cfg.slack; ++i) step();
+      r.distance = detection_distance(g, victims, sim.alarmed_nodes());
+      if (!r.distance) {
+        r.error = "detected but alarm set empty";  // unreachable by contract
+        return r;
+      }
     }
   } else if (r.detection_expected) {
-    r.error = "load-bearing tamper went undetected";
+    r.error = aux ? "aux-state fault went undetected despite the watchdog"
+                  : "load-bearing tamper went undetected";
     return r;
   }
   r.ok = true;

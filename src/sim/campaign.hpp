@@ -2,6 +2,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/generators.hpp"
@@ -76,7 +77,13 @@ const char* family_name(GraphFamily f);
 /// Builds a ~n-node instance of the family (grid rounds to rows*cols).
 WeightedGraph make_family_graph(GraphFamily f, NodeId n, Rng& rng);
 
-/// Fault-placement / scenario classes.
+/// Fault-placement / scenario classes. The three kAux* classes extend the
+/// campaign to the total-state fault model (sim/faults.hpp aux injectors):
+/// they corrupt the ENGINE's auxiliary state, so without the bounded-
+/// staleness watchdog they are missed (nothing re-activates the evidence,
+/// or no audit ever runs); with it armed they are must-detect — via the
+/// post-reseed alarm (kAuxQueueDrop) or the watchdog-trip audit
+/// (kStampSkew, kArenaTruncate).
 enum class CampaignClass {
   kQuiet,       ///< control: no faults, must never alarm
   kScattered,   ///< f uniform-random protocol corruptions
@@ -84,15 +91,35 @@ enum class CampaignClass {
   kStorm,       ///< repeated fault waves while still stabilizing
   kPieceTamper, ///< load-bearing permanent piece lie: must detect
   kNonMstMark,  ///< marked tree is not the MST: oracle and verifier agree
+  kAuxQueueDrop,  ///< piece lie + consistent pending-queue wipe: starvation
+  kStampSkew,     ///< staleness stamps skewed past the engine clock
+  kArenaTruncate, ///< label headers silently shrunk within arena capacity
 };
 
 inline constexpr CampaignClass kAllClasses[] = {
     CampaignClass::kQuiet,     CampaignClass::kScattered,
     CampaignClass::kCorrelated, CampaignClass::kStorm,
     CampaignClass::kPieceTamper, CampaignClass::kNonMstMark,
+    CampaignClass::kAuxQueueDrop, CampaignClass::kStampSkew,
+    CampaignClass::kArenaTruncate,
 };
 
 const char* campaign_name(CampaignClass c);
+
+/// True for the total-state (engine-auxiliary) fault classes.
+bool is_aux_class(CampaignClass c);
+
+/// Name -> enum for the replay CLI (`bench_campaign --replay-seed=...`);
+/// accepts exactly the campaign_name()/family_name() strings.
+std::optional<CampaignClass> parse_class(std::string_view name);
+std::optional<GraphFamily> parse_family(std::string_view name);
+
+/// Watchdog arming policy for an episode. kAuto arms it exactly for the
+/// aux-state classes (where it is the detection mechanism) and leaves the
+/// register-fault classes' schedules untouched; kOff on an aux class
+/// demonstrates the missed-detection baseline (detection_expected drops to
+/// false and the episode records the miss instead of failing).
+enum class Watchdog { kAuto, kOn, kOff };
 
 struct CampaignConfig {
   GraphFamily family = GraphFamily::kRandom;
@@ -111,6 +138,9 @@ struct CampaignConfig {
   std::uint64_t max_units = 0;
   std::uint64_t slack = 64;    ///< co-alarm collection window after detection
   std::uint32_t pack = 2;      ///< marker pieces per node
+  Watchdog watchdog = Watchdog::kAuto;
+  /// Watchdog trip budget in units; 0 = auto (watchdog_budget_for(n)).
+  std::uint64_t watchdog_budget = 0;
 };
 
 /// One episode's outcome. `ok` is the fuzz-suite property; `skipped` marks

@@ -16,6 +16,17 @@ std::vector<NodeId> pick_fault_nodes(NodeId n, std::size_t f, Rng& rng) {
   return all;
 }
 
+std::uint32_t skewed_stamp(std::uint64_t now, std::uint32_t lead) {
+  constexpr std::uint32_t kNever32 = std::numeric_limits<std::uint32_t>::max();
+  const auto now32 = static_cast<std::uint32_t>(
+      now < kNever32 ? now : std::uint64_t{kNever32} - 1);
+  if (lead == 0) lead = 1;
+  // Saturate one below the sentinel so the skewed value still reads as a
+  // real (future) activation time, never as "never activated".
+  if (now32 >= kNever32 - lead) return kNever32 - 1;
+  return now32 + lead;
+}
+
 std::optional<std::uint32_t> detection_distance(
     const WeightedGraph& g, const std::vector<NodeId>& faulty,
     const std::vector<NodeId>& alarming) {

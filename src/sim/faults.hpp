@@ -67,6 +67,98 @@ std::vector<NodeId> inject_faults(const Protocol<State>& proto,
   return victims;
 }
 
+// ---- Aux-state fault injectors (total-state fault model) -------------------
+//
+// KKM11 promises recovery from arbitrary transient corruption of ALL memory,
+// so the adversary must also reach the simulator's own bookkeeping: dirty
+// bitmaps, pending queues, staleness stamps, the coherence flag, label
+// headers. These wrappers turn Simulation's raw aux_* corruption surface
+// into batch, deterministically seeded injectors matching the register-fault
+// layer above: victims chosen by pick_fault_nodes under an index-derived
+// seed reproduce bit-identically across runs and layouts.
+
+/// Drops the victims' pending-queue entries. clear_bits=true is the
+/// *consistent* drop (bit and entry both gone — invisible to any local
+/// invariant, the starvation fault the watchdog exists for);
+/// clear_bits=false leaves dangling dirty bits that audit() reports as
+/// enabled_not_queued. Returns how many entries were actually removed
+/// (victims that were not pending are no-ops).
+template <typename State>
+std::size_t aux_drop_pending(Simulation<State>& sim,
+                             std::span<const NodeId> victims,
+                             bool clear_bits) {
+  std::size_t dropped = 0;
+  for (NodeId v : victims) dropped += sim.aux_drop_pending(v, clear_bits);
+  return dropped;
+}
+
+/// Appends duplicate pending entries for every currently queued victim
+/// (audit() reports duplicate_queue_entries). Returns duplicates added.
+template <typename State>
+std::size_t aux_duplicate_pending(Simulation<State>& sim,
+                                  std::span<const NodeId> victims) {
+  std::size_t added = 0;
+  for (NodeId v : victims) added += sim.aux_duplicate_pending(v);
+  return added;
+}
+
+/// Flips the victims' dirty bits without touching any queue — either
+/// direction breaks the queue <-> bitmap invariant that audit() checks.
+template <typename State>
+void aux_flip_enabled_bits(Simulation<State>& sim,
+                           std::span<const NodeId> victims) {
+  for (NodeId v : victims) sim.aux_flip_enabled_bit(v);
+}
+
+/// Overwrites the victims' staleness stamps with `stamp`. Pair with
+/// skewed_stamp() to land strictly ahead of the engine clock — the skew
+/// audit() reports and the kAdversarial daemon mis-sorts on.
+template <typename State>
+void aux_skew_stamps(Simulation<State>& sim, std::span<const NodeId> victims,
+                     std::uint32_t stamp) {
+  for (NodeId v : victims) sim.aux_skew_stamp(v, stamp);
+}
+
+/// A stamp value strictly ahead of an engine clock of `now` by `lead`
+/// units, saturating below the kNever sentinel (UINT32_MAX) so the skew
+/// stays distinguishable from "never activated".
+std::uint32_t skewed_stamp(std::uint64_t now, std::uint32_t lead);
+
+/// Silent register mutation: applies `fn(v, reg)` through the
+/// aux_corrupt_register backdoor — no coherence demotion, no queue
+/// enabling — modelling a fault that strikes a register while the
+/// bookkeeping that would have noticed was itself corrupted. The fault the
+/// kArenaTruncate campaign class uses to shrink label headers unseen.
+template <typename State, typename Fn>
+void aux_silent_mutate(Simulation<State>& sim, std::span<const NodeId> victims,
+                       Fn&& fn) {
+  for (NodeId v : victims) fn(v, sim.aux_corrupt_register(v));
+}
+
+/// Seeded scramble of the victims' queue bookkeeping: per victim, one of
+/// {consistent drop, bit-dangling drop, duplicate} chosen by `rng`.
+/// Deterministic under the campaign's index-derived seeds. Returns the
+/// number of mutations that landed.
+template <typename State>
+std::size_t aux_scramble_queue(Simulation<State>& sim,
+                               std::span<const NodeId> victims, Rng& rng) {
+  std::size_t landed = 0;
+  for (NodeId v : victims) {
+    switch (rng.below(3)) {
+      case 0:
+        landed += sim.aux_drop_pending(v, /*clear_bit=*/true);
+        break;
+      case 1:
+        landed += sim.aux_drop_pending(v, /*clear_bit=*/false);
+        break;
+      default:
+        landed += sim.aux_duplicate_pending(v);
+        break;
+    }
+  }
+  return landed;
+}
+
 /// Detection distance (Section 2.4): for each faulty node, the hop distance
 /// to the nearest node that raised an alarm; the scheme's detection distance
 /// is the maximum over faulty nodes. Returns nullopt when faults exist but

@@ -261,6 +261,23 @@ class Protocol {
   /// Whether the node is currently raising an alarm ("output no").
   virtual bool alarmed(const State& /*s*/) const { return false; }
 
+  /// Structural register audit (the total-state fault model's
+  /// Simulation::audit() calls this once per node): returns true iff the
+  /// register is structurally sound — every stripe-view header addresses
+  /// memory inside its arena's allocation and every live length respects
+  /// its install-time capacity contract. This is a *structure* check, not
+  /// a semantics check: a register may be structurally sound yet carry a
+  /// corrupted value the protocol itself must detect (that is the
+  /// protocol's own job); conversely a structurally unsound register —
+  /// e.g. a label header whose offsets or lengths were corrupted past its
+  /// arena slice — can misdirect reads before any protocol check runs,
+  /// which is why the auditor screens it out-of-band. Must be cheap
+  /// (O(register)), const-safe and allocation-free. Default: registers
+  /// that own everything by value have no structure to audit.
+  virtual bool audit_state(const State& /*s*/, NodeId /*v*/) const {
+    return true;
+  }
+
   /// Adversarial corruption: replace the state by an arbitrary *type-valid*
   /// value drawn from `rng`. Only the protocol knows which bit patterns are
   /// type-valid for its register (ports must stay in range or kNoPort,

@@ -77,10 +77,26 @@ struct SimulationStats {
   /// by parallel drains; the sequential path leaves it 0.
   std::uint64_t cross_shard_deferrals = 0;
   /// Per-shard drained-activation counts under the *current* shard layout
-  /// (one slot per CSR shard; sized lazily by the first parallel drain,
-  /// re-sized — and so reset — when set_thread_pool changes the layout).
-  /// Counted only by parallel drains; sums to their share of activations.
+  /// (one slot per CSR shard; sized lazily by the first parallel drain).
+  /// Contract on layout changes (pinned by tests/test_async_queue.cpp):
+  /// when set_thread_pool changes the shard *count*, the vector is resized
+  /// and the per-shard counts restart from zero — old counts cannot be
+  /// re-attributed to the new boundaries. Attaching/detaching a pool of
+  /// the same width (or toggling through nullptr and back) preserves the
+  /// counts: the layout, and so the attribution, is unchanged. Callers
+  /// that need totals across layout changes must snapshot the sum before
+  /// switching; `activations` (never reset) is the layout-independent
+  /// aggregate. Counted only by parallel drains; sums to their share of
+  /// activations.
   std::vector<std::uint64_t> shard_activations;
+  /// Total-state fault model (the invariant auditor + watchdog layer; see
+  /// the Simulation class comment): audit passes run, violations they
+  /// found, and watchdog repairs applied. All zero unless audit() is
+  /// called or a watchdog is armed, so schedule-equivalence stats
+  /// comparisons are unaffected by default.
+  std::uint64_t audits = 0;
+  std::uint64_t audit_violations = 0;
+  std::uint64_t repairs = 0;
 
   /// Time units from the last epoch (construction or alarm-history reset)
   /// to the first alarm — the detection latency of the current experiment.
@@ -91,6 +107,50 @@ struct SimulationStats {
 
   friend bool operator==(const SimulationStats&,
                          const SimulationStats&) = default;
+};
+
+/// Structured result of one Simulation::audit() pass over the engine's
+/// *auxiliary* state (the total-state fault model; see the Simulation
+/// class comment). Each counter is one invariant class; `suspects` names
+/// up to kMaxSuspects implicated nodes for diagnostics. The report is the
+/// only allocation an audit makes (its scratch is a lazily sized member),
+/// and a reused report re-audits allocation-free once its suspects vector
+/// capacity is warm.
+struct AuditReport {
+  /// Caps `suspects` so a mass corruption cannot turn a report into an
+  /// O(n) allocation; the counters always reflect the full damage.
+  static constexpr std::size_t kMaxSuspects = 32;
+
+  std::uint64_t time = 0;           ///< stats.time at audit
+  std::uint64_t checked_nodes = 0;  ///< nodes swept (== n)
+  /// Queue <-> bitmap consistency: enabled_[v] must be set iff v holds
+  /// exactly one pending-queue entry.
+  std::uint32_t enabled_not_queued = 0;   ///< dirty bit set, no queue entry
+  std::uint32_t queued_not_enabled = 0;   ///< queue entry, dirty bit clear
+  std::uint32_t duplicate_queue_entries = 0;  ///< extra entries per node
+  /// Sharded layout only: entries sitting in a queue whose CSR shard range
+  /// does not contain them (the partition must match shard boundaries).
+  std::uint32_t misplaced_queue_entries = 0;
+  /// Staleness stamps claiming activations from the future: last_step_ or
+  /// the full-drain floor ahead of the engine clock (modulo the legal
+  /// kNever sentinel).
+  std::uint32_t stamp_violations = 0;
+  /// Registers failing Protocol::audit_state — structurally unsound
+  /// headers (e.g. label arena offsets/lengths out of bounds, live length
+  /// under the install capacity).
+  std::uint32_t register_violations = 0;
+  /// Coherence flag out of sync with its redundantly maintained shadow
+  /// (the flag is plain aux memory; a flipped bit falsely claiming
+  /// coherence would let step_into_coherent skip rewrites).
+  std::uint32_t coherence_violations = 0;
+  std::vector<NodeId> suspects;  ///< implicated nodes, first kMaxSuspects
+
+  std::uint64_t total_violations() const {
+    return std::uint64_t{enabled_not_queued} + queued_not_enabled +
+           duplicate_queue_entries + misplaced_queue_entries +
+           stamp_violations + register_violations + coherence_violations;
+  }
+  bool ok() const { return total_violations() == 0; }
 };
 
 /// Executes a Protocol over a WeightedGraph under either scheduler and
@@ -195,6 +255,54 @@ struct SimulationStats {
 /// scratch is sized once (lazily, on the first parallel drain) and every
 /// pool task fits std::function's inline buffer (pinned by
 /// tests/test_alloc_free.cpp).
+///
+/// Total-state fault model (the KKM guarantee is recovery from arbitrary
+/// corruption of ALL memory, not just protocol registers — so the engine's
+/// own auxiliary state is corruptible too):
+///
+///  * Fault surface. The aux_* methods model adversarial corruption of the
+///    engine's bookkeeping: dirty-bit flips, pending-queue entry drops and
+///    duplicates (flat and per-shard layouts), staleness-stamp skew, a
+///    coherence-flag flip, and silent register writes that bypass the
+///    demotion/enabling bookkeeping entirely (sim/faults.hpp wraps these
+///    into deterministic seeded injectors). They deliberately break the
+///    invariants normal mutations maintain; the engine must never crash or
+///    scribble out of bounds under them (the ASan CI job), but its
+///    *schedule* may silently go wrong — that is the failure mode the
+///    auditor and watchdog exist to bound.
+///  * Invariant auditor. audit() sweeps the aux state and returns a
+///    structured AuditReport: queue <-> bitmap consistency (enabled_[v]
+///    iff exactly one queue entry), per-shard queue partition matching the
+///    CSR shard boundaries, staleness stamps (and the full-drain floor)
+///    never ahead of the engine clock, per-register structural soundness
+///    via Protocol::audit_state (label arena offset/length bounds), and
+///    the coherence flag checked against a redundantly maintained shadow
+///    copy (single-bit aux corruption of the flag is detectable by
+///    redundancy; consistent corruption of both copies is outside any
+///    finite-redundancy detector's class). Audits are O(n + pending),
+///    allocate only their report, and count into SimulationStats::audits /
+///    audit_violations.
+///  * Bounded-staleness watchdog + repair. set_watchdog(budget) arms a
+///    fairness floor: whenever `budget` time units elapse since the last
+///    watchdog window, the engine audits and then applies the trivially
+///    correct repair — the round-0 reseed (re-enable every node, reset all
+///    staleness stamps and the full-drain floor, demote coherence). The
+///    reseed is unconditional on expiry: under the total-state model a
+///    clean audit cannot certify quiescence (a consistently dropped queue
+///    entry — bit cleared AND entry removed — is invisible to any local
+///    check), so the blanket re-enable is what restores the weakly fair
+///    schedule within one budget window no matter what the aux corruption
+///    hid. Every node is therefore activated at least once per
+///    budget + 1 units — detection latency of any register fault is
+///    bounded by budget + the protocol's own detection bound. Repairs
+///    count into SimulationStats::repairs; audit-failing trips accumulate
+///    strikes, and `escalate_after` consecutive failing trips set
+///    watchdog_escalated() — the signal that reseeding is not clearing the
+///    corruption source (e.g. structurally corrupt registers) and the
+///    caller must escalate to the selfstab/reset.hpp run_reset + re-mark
+///    path. The watchdog is off by default (budget 0) and costs one
+///    predictable branch per round/unit when off, so the zero-allocation
+///    and bit-identical-parallel pins are unaffected unless armed.
 template <typename State>
 class Simulation {
  public:
@@ -251,7 +359,7 @@ class Simulation {
   /// demotion covers only the next round, and a stale reference also
   /// dangles across the buffer swap — re-fetch per mutation instead.
   std::vector<State>& states() {
-    back_coherent_ = false;
+    set_coherence(false);
     enable_all_pending_ = true;
     return regs_;
   }
@@ -261,7 +369,7 @@ class Simulation {
   /// targeted hook for point mutations (fault injection, probes that write
   /// one register). Read-only call sites should use cstate() instead.
   State& state(NodeId v) {
-    back_coherent_ = false;
+    set_coherence(false);
     mark_dirty(v);
     return regs_[v];
   }
@@ -302,7 +410,7 @@ class Simulation {
   template <typename Fn>
   void mutate_registers(std::span<const NodeId> nodes, Fn&& fn) {
     if (nodes.empty()) return;
-    back_coherent_ = false;
+    set_coherence(false);
     for (NodeId v : nodes) fn(v, regs_[v]);
     mark_dirty(nodes);
   }
@@ -348,6 +456,7 @@ class Simulation {
   /// unconditional step_into rewrite. Results are bit-identical across
   /// all three paths.
   void sync_round() {
+    watchdog_poll();
     const NodeId n = g_->n();
     const std::uint64_t stamp = stats_.time + 1;
     const bool coherent = back_coherent_;
@@ -375,7 +484,7 @@ class Simulation {
       fold(acc, stamp);
     }
     regs_.swap(scratch_);
-    back_coherent_ = true;
+    set_coherence(true);
     // A lock-step round rewrote the whole register file; the async queue
     // cannot know what changed, so the next unit re-seeds every node.
     enable_all_pending_ = true;
@@ -390,10 +499,11 @@ class Simulation {
   /// by the first subsequent sync_round (its full step_into sweep rewrites
   /// the back buffer; no reseed needed — pinned by test_alloc_free.cpp).
   void async_unit(Rng& rng, DaemonOrder order = DaemonOrder::kRandom) {
+    watchdog_poll();
     const std::uint64_t stamp = stats_.time;
     if (full_sweep_) {
       // In-place activations leave the back buffer behind the front one.
-      back_coherent_ = false;
+      set_coherence(false);
       // Legacy daemon: every node activated exactly once per unit; each
       // node's post-activation state survives to the end of the unit, so
       // accounting is batched into one pass stamped with the unit's time.
@@ -414,7 +524,7 @@ class Simulation {
       // A quiescent unit activates nothing and writes no register, so the
       // back buffer provably keeps its coherence; only a non-empty drain
       // mutates the front buffer in place and demotes it.
-      if (!drain_.empty()) back_coherent_ = false;
+      if (!drain_.empty()) set_coherence(false);
       discipline(order, rng);
       // Both paths are bit-identical (the sharded-drain contract in the
       // class comment); the switch is purely an execution strategy.
@@ -482,6 +592,148 @@ class Simulation {
 
   /// Running maximum of any node's register size, in bits.
   std::size_t max_state_bits() const { return stats_.peak_bits; }
+
+  // ---- Invariant auditor (total-state fault model; class comment) ----
+
+  /// Sweeps the engine's auxiliary state and returns a structured report
+  /// (see AuditReport for the invariant classes). O(n + pending); the
+  /// report is the only allocation (scratch is a lazily sized member).
+  /// Counts into stats().audits / audit_violations.
+  AuditReport audit() {
+    AuditReport r;
+    audit_into(r);
+    return r;
+  }
+
+  /// In-place audit for callers that reuse a report across passes (the
+  /// watchdog trip path): once the report's suspects capacity is warm,
+  /// repeated audits allocate nothing.
+  void audit_into(AuditReport& r) {
+    if (r.suspects.capacity() < AuditReport::kMaxSuspects) {
+      r.suspects.reserve(AuditReport::kMaxSuspects);
+    }
+    r.suspects.clear();
+    run_audit(r);
+    ++stats_.audits;
+    stats_.audit_violations += r.total_violations();
+  }
+
+  // ---- Bounded-staleness watchdog + repair (class comment) ----
+
+  /// Arms the watchdog: every `budget_units` time units the engine audits
+  /// and applies the round-0 reseed repair (unconditionally — see the
+  /// class comment for why a clean audit cannot certify quiescence under
+  /// the total-state model). `escalate_after` consecutive audit-failing
+  /// trips set watchdog_escalated(). budget_units == 0 disarms. The
+  /// budget should be derived from the instance's stabilization bound —
+  /// wide enough that a healthy run quiesces well inside one window
+  /// (verify/metrology.hpp's watchdog_budget_for gives the verifier's
+  /// O(log^2 n) default).
+  void set_watchdog(std::uint64_t budget_units,
+                    std::uint32_t escalate_after = 3) {
+    watchdog_budget_ = budget_units;
+    watchdog_escalate_after_ = escalate_after;
+    watchdog_window_start_ = stats_.time;
+    watchdog_strikes_ = 0;
+    watchdog_escalated_ = false;
+  }
+  std::uint64_t watchdog_budget() const { return watchdog_budget_; }
+  /// True once `escalate_after` consecutive watchdog trips found audit
+  /// violations: the reseed repair is not clearing the corruption source
+  /// and the caller must escalate (run_reset + re-mark). Sticky until the
+  /// watchdog is re-armed.
+  bool watchdog_escalated() const { return watchdog_escalated_; }
+  /// Report of the most recent watchdog-trip audit (valid after the first
+  /// trip; tests and the campaign engine read violation classes off it).
+  const AuditReport& last_watchdog_report() const { return wd_report_; }
+
+  // ---- Total-state fault surface (class comment; sim/faults.hpp wraps
+  // these into deterministic seeded injectors). These methods MODEL
+  // CORRUPTION of the engine's own auxiliary state: they deliberately
+  // bypass the bookkeeping that keeps the activation queue, staleness
+  // stamps and coherence gate sound, so the schedule may silently go
+  // wrong afterwards — which is the point. Never call them outside fault
+  // experiments. ----
+
+  /// Silent register access: returns the mutable register WITHOUT the
+  /// coherence demotion and queue enabling that states()/state(v) perform
+  /// — a write through this reference is invisible to the event-driven
+  /// engine, exactly like a transient fault striking memory between
+  /// activations while the bookkeeping bits were also corrupted.
+  State& aux_corrupt_register(NodeId v) { return regs_[v]; }
+  /// Flips v's dirty bit without touching any queue (either direction
+  /// breaks the queue <-> bitmap invariant; audit() reports it).
+  void aux_flip_enabled_bit(NodeId v) { enabled_[v] ^= 1; }
+  /// Removes one pending-queue entry for v from the live layout (flat or
+  /// per-shard). clear_bit=true also clears the dirty bit — the
+  /// *consistent* drop that no local invariant can see (the starvation
+  /// fault the watchdog's fairness floor exists for); clear_bit=false
+  /// leaves the bit set, an auditable inconsistency. Returns whether an
+  /// entry was removed.
+  bool aux_drop_pending(NodeId v, bool clear_bit) {
+    auto& q = node_shard_.empty() ? queue_ : queues_[node_shard_[v]];
+    const auto it = std::find(q.begin(), q.end(), v);
+    if (it == q.end()) return false;
+    q.erase(it);
+    if (clear_bit) enabled_[v] = 0;
+    return true;
+  }
+  /// Appends a duplicate pending entry for an already-queued v (audit
+  /// reports the duplicate; an un-audited engine would drain v twice in
+  /// one unit). Returns false when v is not currently queued.
+  bool aux_duplicate_pending(NodeId v) {
+    if (!enabled_[v]) return false;
+    (node_shard_.empty() ? queue_ : queues_[node_shard_[v]]).push_back(v);
+    return true;
+  }
+  /// Consistent drop of the ENTIRE pending set: clears the blanket
+  /// re-enable flag, every dirty bit and every queue entry, leaving a
+  /// spotless-looking quiescent engine that has forgotten whatever the
+  /// entries were guarding. Returns the number of suppressed activations
+  /// (n for a pending blanket). The aux-queue-drop campaign fault.
+  std::size_t aux_suppress_pending() {
+    std::size_t dropped = 0;
+    if (enable_all_pending_) {
+      enable_all_pending_ = false;
+      dropped += g_->n();
+    }
+    for (NodeId v : queue_) enabled_[v] = 0;
+    dropped += queue_.size();
+    queue_.clear();
+    for (auto& q : queues_) {
+      for (NodeId v : q) enabled_[v] = 0;
+      dropped += q.size();
+      q.clear();
+    }
+    return dropped;
+  }
+  /// Overwrites v's staleness stamp (a value ahead of the engine clock —
+  /// "activated in the future" — is the auditable skew; it also makes the
+  /// kAdversarial discipline treat v as maximally fresh).
+  void aux_skew_stamp(NodeId v, std::uint32_t stamp) { last_step_[v] = stamp; }
+  std::uint32_t aux_stamp(NodeId v) const { return last_step_[v]; }
+  /// Flips the back-buffer coherence flag (primary only — the shadow copy
+  /// stays, which is what audit() checks it against). The false->true
+  /// direction is the dangerous one: it would let the next sync round take
+  /// the zero-copy path over a back buffer that does not hold the previous
+  /// round.
+  void aux_flip_coherence_flag() { back_coherent_ = !back_coherent_; }
+
+  /// Snapshot of the currently pending nodes (ascending): the queued set,
+  /// or all n under a pending blanket re-enable. Diagnostic/experiment
+  /// helper — allocates; not for hot paths.
+  std::vector<NodeId> pending_nodes() const {
+    std::vector<NodeId> out;
+    if (enable_all_pending_) {
+      out.resize(g_->n());
+      std::iota(out.begin(), out.end(), NodeId{0});
+      return out;
+    }
+    out.insert(out.end(), queue_.begin(), queue_.end());
+    for (const auto& q : queues_) out.insert(out.end(), q.begin(), q.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
 
  private:
   static constexpr std::uint64_t kNever =
@@ -1100,6 +1352,124 @@ class Simulation {
     }
   }
 
+  /// The one legitimate way to move the coherence flag: primary and
+  /// shadow in lockstep (the audit detects a corrupted primary by the
+  /// divergence; see the total-state fault model in the class comment).
+  void set_coherence(bool c) {
+    back_coherent_ = c;
+    coherence_shadow_ = c;
+  }
+
+  /// The audit sweep behind audit()/audit_into (class comment: queue <->
+  /// bitmap, shard partition, stamp, register and coherence invariants).
+  /// Scratch is the lazily sized audit_seen_ member; the caller's report
+  /// is the only allocation.
+  __attribute__((noinline)) void run_audit(AuditReport& r) {
+    const NodeId n = g_->n();
+    r.time = stats_.time;
+    r.checked_nodes = n;
+    if (audit_seen_.size() != n) audit_seen_.assign(n, 0);
+    std::fill(audit_seen_.begin(), audit_seen_.end(), 0);
+    auto suspect = [&r](NodeId v) {
+      if (r.suspects.size() < AuditReport::kMaxSuspects) {
+        r.suspects.push_back(v);
+      }
+    };
+    auto check_entry = [&](NodeId v, bool misplaced) {
+      if (v >= n) {  // defensive: a corrupted entry must not index OOB
+        ++r.misplaced_queue_entries;
+        return;
+      }
+      if (misplaced) {
+        ++r.misplaced_queue_entries;
+        suspect(v);
+      }
+      if (audit_seen_[v]++ != 0) {
+        ++r.duplicate_queue_entries;
+        suspect(v);
+      }
+      if (!enabled_[v]) {
+        ++r.queued_not_enabled;
+        suspect(v);
+      }
+    };
+    for (NodeId v : queue_) {
+      // The flat queue is a misplaced home for every entry when the
+      // sharded layout is live (and vice versa for stale shard queues).
+      check_entry(v, /*misplaced=*/!node_shard_.empty());
+    }
+    for (std::size_t s = 0; s < queues_.size(); ++s) {
+      for (NodeId v : queues_[s]) {
+        const bool misplaced =
+            node_shard_.empty() ||
+            (v < n && node_shard_[v] != static_cast<std::uint16_t>(s));
+        check_entry(v, misplaced);
+      }
+    }
+    const bool clock32_valid = stats_.time < kNever32;
+    const auto now32 = static_cast<std::uint32_t>(
+        clock32_valid ? stats_.time : std::uint64_t{kNever32});
+    for (NodeId v = 0; v < n; ++v) {
+      if (enabled_[v] && audit_seen_[v] == 0) {
+        ++r.enabled_not_queued;
+        suspect(v);
+      }
+      if (clock32_valid && last_step_[v] != kNever32 &&
+          last_step_[v] > now32) {
+        ++r.stamp_violations;
+        suspect(v);
+      }
+      if (!proto_->audit_state(regs_[v], v)) {
+        ++r.register_violations;
+        suspect(v);
+      }
+    }
+    if (clock32_valid && full_drain_stamp_ != kNever32 &&
+        full_drain_stamp_ > now32) {
+      ++r.stamp_violations;
+    }
+    if (back_coherent_ != coherence_shadow_) ++r.coherence_violations;
+  }
+
+  /// Watchdog budget gate: one predictable branch per round/unit when
+  /// disarmed; trips to the audit + reseed slow path on window expiry.
+  void watchdog_poll() {
+    if (watchdog_budget_ != 0 &&
+        stats_.time - watchdog_window_start_ >= watchdog_budget_) {
+      watchdog_trip();
+    }
+  }
+
+  /// One watchdog trip: audit (reusing wd_report_, so warm trips allocate
+  /// nothing), strike accounting toward escalation, then the trivially
+  /// correct repair — the round-0 reseed (class comment: unconditional,
+  /// because a clean audit cannot certify quiescence under the
+  /// total-state model).
+  __attribute__((noinline)) void watchdog_trip() {
+    audit_into(wd_report_);
+    if (!wd_report_.ok()) {
+      if (++watchdog_strikes_ >= watchdog_escalate_after_) {
+        watchdog_escalated_ = true;
+      }
+    } else {
+      watchdog_strikes_ = 0;
+    }
+    // Round-0 reseed: every node re-enabled, queue bookkeeping rebuilt
+    // from scratch (a dangling dirty bit or stray entry would survive a
+    // bare blanket re-enable), staleness history erased, coherence demoted
+    // (both copies — the repair also resynchronizes a flipped flag to the
+    // safe side).
+    enable_all_pending_ = true;
+    std::fill(enabled_.begin(), enabled_.end(), 0);
+    queue_.clear();
+    for (auto& q : queues_) q.clear();
+    std::fill(last_step_.begin(), last_step_.end(), kNever32);
+    full_drain_stamp_ = kNever32;
+    set_coherence(false);
+    ++stats_.repairs;
+    watchdog_window_start_ = stats_.time;
+  }
+
   const WeightedGraph* g_;
   Protocol<State>* proto_;
   bool rewrites_register_ = false;
@@ -1108,7 +1478,12 @@ class Simulation {
   /// non-const register access, by async units that activate at least one
   /// node (a quiescent drain writes nothing), and at construction (the
   /// back buffer starts value-initialized). Gates step_into_coherent.
+  /// Written ONLY through set_coherence (keeps the shadow in lockstep) —
+  /// except by aux_flip_coherence_flag, which models corrupting it.
   bool back_coherent_ = false;
+  /// Redundant copy of back_coherent_ maintained by set_coherence; the
+  /// audit reports any divergence (total-state fault model).
+  bool coherence_shadow_ = false;
   /// Opaque ownership token from Protocol::adopt_register_file — the
   /// per-simulation arena behind stripe-view registers. Declared before
   /// the register vectors so it is destroyed after them.
@@ -1179,6 +1554,15 @@ class Simulation {
   bool ep_partial_ = false;          ///< partial drain: store last_step_
   std::size_t acc_chunk_ = 0;        ///< accounting chunk length
   std::size_t mark_count_ = 0;       ///< changed-list length for marking
+
+  // Invariant auditor + watchdog (total-state fault model; class comment).
+  std::vector<std::uint8_t> audit_seen_;  ///< per-node queue-entry counts
+  AuditReport wd_report_;            ///< reused trip report (warm = no alloc)
+  std::uint64_t watchdog_budget_ = 0;        ///< 0 = disarmed
+  std::uint64_t watchdog_window_start_ = 0;  ///< stats_.time at window open
+  std::uint32_t watchdog_escalate_after_ = 3;
+  std::uint32_t watchdog_strikes_ = 0;  ///< consecutive audit-failing trips
+  bool watchdog_escalated_ = false;
 };
 
 }  // namespace ssmst

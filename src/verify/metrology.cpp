@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "util/bits.hpp"
+
 namespace ssmst {
 
 VerifierHarness::VerifierHarness(const WeightedGraph& g, VerifierConfig cfg,
@@ -126,6 +128,14 @@ DetectionResult VerifierHarness::measure_detection(
   res.distance = detection_distance(sim_->graph(), faulty, res.alarming);
   res.sim = sim_->stats();
   return res;
+}
+
+std::uint64_t watchdog_budget_for(NodeId n) {
+  // A quarter of the campaign episode budget 160*logn^2 + 2000 (see
+  // sim/campaign.cpp): the trip fires well inside an episode and leaves
+  // three quarters of the budget for the post-reseed O(log^2 n) detection.
+  const std::uint64_t logn = ceil_log2(std::max<NodeId>(n, 2)) + 2;
+  return 40 * logn * logn + 500;
 }
 
 ScaleProbeResult run_scale_probe(VerifierHarness& h,

@@ -84,6 +84,13 @@ class VerifierHarness {
   Rng daemon_;
 };
 
+/// Default bounded-staleness watchdog budget for an n-node verifier
+/// instance: a quarter of the campaign detection budget (which tracks the
+/// O(log^2 n) stabilization bound), so a watchdog trip plus the post-reseed
+/// detection window both fit inside one episode budget. Pass to
+/// Simulation::set_watchdog for total-state fault experiments.
+std::uint64_t watchdog_budget_for(NodeId n);
+
 /// Result of one scale-bench probe (the shared core of the 2^20 sections
 /// of bench_detection_sync and bench_table1).
 struct ScaleProbeResult {

@@ -624,6 +624,31 @@ void VerifierProtocol::corrupt(VerifierState& s, NodeId v, Rng& rng) const {
   }
 }
 
+bool VerifierProtocol::audit_state(const VerifierState& s, NodeId v) const {
+  const NodeLabels& l = s.labels;
+  if (l.arena == nullptr) {
+    // A null arena is only structurally sound when the header claims no
+    // payload at all; any live cap with no backing store is corruption.
+    if (l.lvl_cap != 0 || l.perm_cap != 0) return false;
+  } else {
+    if (std::size_t{l.lvl_off} + l.lvl_cap > l.arena->levels_size()) {
+      return false;
+    }
+    if (std::size_t{l.perm_off} + 2 * std::size_t{l.perm_cap} >
+        l.arena->perm_size()) {
+      return false;
+    }
+  }
+  // The marker installs capacity == live length and nothing in the running
+  // protocol ever shrinks it, so a short live length is a corrupted header.
+  if (l.lvl_len != l.lvl_cap) return false;
+  if (l.top_n > l.perm_cap || l.bot_n > l.perm_cap) return false;
+  if (s.parent_port != kNoPort && s.parent_port >= g_->degree(v)) {
+    return false;
+  }
+  return true;
+}
+
 std::vector<VerifierState> VerifierProtocol::initial_states(
     const MarkerOutput& marker) const {
   const NodeId n = g_->n();

@@ -213,6 +213,13 @@ class VerifierProtocol final : public Protocol<VerifierState> {
     return s.alarm != AlarmReason::kNone;
   }
   void corrupt(VerifierState& s, NodeId v, Rng& rng) const override;
+  /// Structural register audit for the total-state fault model: checks the
+  /// label header's arena coordinates against the arena's live stripe
+  /// sizes, the capacity==live-length install contract, pack counts, and
+  /// the parent port's range. Catches header corruption (e.g. an
+  /// arena-truncate fault) before any stripe view reads through it; does
+  /// not judge protocol semantics — that is the verifier's own job.
+  bool audit_state(const VerifierState& s, NodeId v) const override;
 
   /// The legal initial configuration produced by the marker: labels
   /// installed, trains at cycle start, timers zero. The returned states'

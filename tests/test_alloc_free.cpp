@@ -203,6 +203,54 @@ TEST(AllocFree, SteadyStateParallelAsyncUnitsAllocateNothing) {
   EXPECT_FALSE(h.sim().stats().shard_activations.empty());
 }
 
+TEST(AllocFree, WarmAuditAllocatesNothing) {
+  // The invariant auditor (total-state fault model) is allowed to allocate
+  // only its report: with a reused report whose suspects capacity is warm,
+  // repeated audits — clean or violating — must stay off the allocator.
+  Rng rng(12);
+  auto g = gen::random_connected(128, 64, rng);
+  VerifierConfig cfg;
+  VerifierHarness h(g, cfg, 13);
+  ASSERT_FALSE(h.run(48).has_value());
+
+  AuditReport report;
+  h.sim().audit_into(report);  // warm pass sizes scratch + suspects
+  ASSERT_TRUE(report.ok());
+
+  h.sim().aux_flip_enabled_bit(5);  // make the next audits report something
+  const std::uint64_t allocs = count_allocations([&] {
+    for (int i = 0; i < 16; ++i) h.sim().audit_into(report);
+  });
+  EXPECT_EQ(allocs, 0u) << "warm audits must not allocate";
+  EXPECT_GE(report.enabled_not_queued, 1u);
+  h.sim().aux_flip_enabled_bit(5);  // restore
+}
+
+TEST(AllocFree, WatchdogTripsInSteadyStateAllocateNothing) {
+  // An armed watchdog audits into a reused member report and repairs with
+  // fills and clears only — steady-state async units that trip it must
+  // remain allocation-free (the acceptance bar: the audit may allocate
+  // only its report, never inside sync_round/async_unit).
+  Rng rng(14);
+  auto g = gen::random_connected(128, 64, rng);
+  VerifierConfig cfg;
+  cfg.sync_mode = false;
+  VerifierHarness h(g, cfg, 15);
+  ASSERT_FALSE(h.run(64).has_value());
+
+  h.sim().set_watchdog(/*budget_units=*/8);
+  ASSERT_FALSE(h.run(32).has_value());  // warm trip path (wd_report_)
+  ASSERT_GE(h.sim().stats().repairs, 1u);
+
+  const std::uint64_t repairs0 = h.sim().stats().repairs;
+  const std::uint64_t allocs = count_allocations([&] {
+    ASSERT_FALSE(h.run(64).has_value());
+  });
+  EXPECT_EQ(allocs, 0u)
+      << "watchdog-armed steady-state units must not allocate";
+  EXPECT_GT(h.sim().stats().repairs, repairs0) << "trips must have fired";
+}
+
 TEST(AllocFree, RegistersAreTriviallyCopyable) {
   static_assert(std::is_trivially_copyable_v<NodeLabels>);
   static_assert(std::is_trivially_copyable_v<VerifierState>);

@@ -485,5 +485,58 @@ TEST(ShardedDrain, PoolSwitchMidRunPreservesSchedule) {
   EXPECT_EQ(a.stats().effective_steps, b.stats().effective_steps);
 }
 
+// Pins the shard_activations layout contract (SimulationStats doc):
+// set_thread_pool resets the per-shard counters only when the shard COUNT
+// changes; detaching and reattaching a pool of the same width — or
+// toggling through nullptr — preserves them. set_thread_pool used to
+// clear the vector unconditionally, silently zeroing the attribution a
+// bench had accumulated mid-run.
+TEST(ShardedDrain, ShardActivationsSurvivePoolReattach) {
+  Rng rng(52);
+  auto g = gen::path(8, rng);
+  LagProtocol proto;
+  std::vector<LagState> init(g.n());
+  init[0].hot = true;
+  ThreadPool pool4(4);
+  Simulation<LagState> sim(g, proto, init, &pool4);
+  sim.set_async_drain(AsyncDrain::kParallel);
+  Rng daemon(53);
+  for (int u = 0; u < 8; ++u) sim.async_unit(daemon, DaemonOrder::kReverse);
+  const auto counts = sim.stats().shard_activations;
+  ASSERT_FALSE(counts.empty());
+  const std::uint64_t sum =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  ASSERT_GT(sum, 0u);
+
+  // Detach (serial units don't touch the per-shard counters) and reattach
+  // the same width: the layout is unchanged, so the counts must be too.
+  sim.set_thread_pool(nullptr);
+  for (int u = 0; u < 4; ++u) sim.async_unit(daemon, DaemonOrder::kReverse);
+  EXPECT_EQ(sim.stats().shard_activations, counts)
+      << "serial units must not disturb per-shard attribution";
+  sim.set_thread_pool(&pool4);
+  for (int u = 0; u < 4; ++u) sim.async_unit(daemon, DaemonOrder::kReverse);
+  const auto& after = sim.stats().shard_activations;
+  ASSERT_EQ(after.size(), counts.size());
+  for (std::size_t s = 0; s < after.size(); ++s) {
+    EXPECT_GE(after[s], counts[s]) << "shard " << s
+                                   << " lost pre-switch activations";
+  }
+  EXPECT_GT(std::accumulate(after.begin(), after.end(), std::uint64_t{0}),
+            sum);
+
+  // A different width is a different layout: counts restart from zero and
+  // the vector matches the new shard count.
+  ThreadPool pool2(2);
+  sim.set_thread_pool(&pool2);
+  sim.async_unit(daemon, DaemonOrder::kReverse);
+  EXPECT_EQ(sim.stats().shard_activations.size(), 2u);
+  EXPECT_LT(std::accumulate(sim.stats().shard_activations.begin(),
+                            sim.stats().shard_activations.end(),
+                            std::uint64_t{0}),
+            sum)
+      << "a changed layout must restart attribution from zero";
+}
+
 }  // namespace
 }  // namespace ssmst

@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # Runs the perf-tracked benches once and merges their machine-readable
-# records into one JSON file (default BENCH_PR7.json) so the perf
+# records into one JSON file (default BENCH_PR8.json) so the perf
 # trajectory is tracked across PRs instead of prose-only in CHANGES.md.
 #
 # Usage: tools/run_benches.sh <build-dir> [out.json] [max-n]
 #
 #   build-dir  directory containing the bench binaries (e.g. build)
-#   out.json   merged output file              (default: BENCH_PR7.json)
+#   out.json   merged output file              (default: BENCH_PR8.json)
 #   max-n      scale-section size for the table benches
 #              (default: 1048576 = 2^20; use e.g. 16384 for a quick smoke)
 #
@@ -17,7 +17,7 @@
 set -euo pipefail
 
 build=${1:?usage: tools/run_benches.sh <build-dir> [out.json] [max-n]}
-out=${2:-BENCH_PR7.json}
+out=${2:-BENCH_PR8.json}
 max_n=${3:-1048576}
 
 tmp=$(mktemp "${out}.XXXXXX.tmp")
