@@ -13,6 +13,7 @@
 #include "core/ssmst.hpp"
 #include "sim/batch.hpp"
 #include "util/bench_io.hpp"
+#include "util/contract.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ssmst {
@@ -72,6 +73,7 @@ struct PulseState {
   std::uint64_t pulse = 0;
   std::uint64_t seen_max = 0;
 };
+SSMST_REGISTER_HEADER(PulseState);
 
 class PulseProtocol final : public Protocol<PulseState> {
  public:
@@ -96,6 +98,7 @@ struct ZcPulseState {
   std::uint64_t pulse = 0;
   std::uint64_t seen_max = 0;
 };
+SSMST_REGISTER_HEADER(ZcPulseState);
 
 class ZeroCopyPulseProtocol final : public Protocol<ZcPulseState> {
  public:
@@ -205,6 +208,7 @@ BENCHMARK(BM_BatchSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 struct MaxFloodState {
   std::uint64_t value = 0;
 };
+SSMST_REGISTER_HEADER(MaxFloodState);
 
 class MaxFloodProtocol final : public Protocol<MaxFloodState> {
  public:
@@ -263,6 +267,7 @@ BENCHMARK(BM_AsyncUnitSparse)
 struct AsyncPulseState {
   std::uint64_t pulse = 0;
 };
+SSMST_REGISTER_HEADER(AsyncPulseState);
 
 class AsyncPulseProtocol final : public Protocol<AsyncPulseState> {
  public:
@@ -377,7 +382,8 @@ void BM_AsyncDrainParallel(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(acts));
   state.counters["activations/unit"] = benchmark::Counter(
       static_cast<double>(acts) /
-      static_cast<double>(3 * std::max<std::uint64_t>(state.iterations(), 1)));
+      static_cast<double>(3 * std::max<std::uint64_t>(
+                                  static_cast<std::uint64_t>(state.iterations()), 1)));
   state.counters["deferred/act"] = benchmark::Counter(
       static_cast<double>(sim.stats().cross_shard_deferrals - base_defer) /
       static_cast<double>(std::max<std::uint64_t>(acts, 1)));

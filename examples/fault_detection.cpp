@@ -40,7 +40,7 @@ int main() {
     std::puts("fault went undetected!");
     return 1;
   }
-  std::printf("\ndetected after %llu rounds (n=256, (log n)^2=%u)\n",
+  std::printf("\ndetected after %llu rounds (n=256, (log n)^2=%zu)\n",
               static_cast<unsigned long long>(res.detection_time),
               (ceil_log2(256) + 1) * (ceil_log2(256) + 1));
   std::printf("alarming nodes: %zu, detection distance: %u hops "

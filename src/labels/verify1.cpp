@@ -246,6 +246,8 @@ std::string verify_labels_1round(const WeightedGraph& g, NodeId v,
     if (const char* e =
             check_part(own.top_part_root_id, own.top_part_depth,
                        own.top_piece_count, ptr, ptd, ptc, 8 * theta)) {
+      // ssmst-lint: allow(R1): cold detection path — builds the alarm text
+      // only when a check has already failed.
       return std::string("top ") + e;
     }
     const std::uint64_t pbr = is_root ? 0 : parent->bot_part_root_id;
@@ -254,6 +256,8 @@ std::string verify_labels_1round(const WeightedGraph& g, NodeId v,
     if (const char* e =
             check_part(own.bot_part_root_id, own.bot_part_depth,
                        own.bot_piece_count, pbr, pbd, pbc, theta + 1)) {
+      // ssmst-lint: allow(R1): cold detection path — builds the alarm text
+      // only when a check has already failed.
       return std::string("bottom ") + e;
     }
   }

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "labels/labels.hpp"
+#include "util/contract.hpp"
 
 namespace ssmst {
 
@@ -27,10 +28,11 @@ class LabelReader {
 /// Returns the first violated condition as a human-readable string, or an
 /// empty string when every check passes. Purely local: reads only v's own
 /// register and its neighbours' registers.
-std::string verify_labels_1round(const WeightedGraph& g, NodeId v,
-                                 const NodeLabels& own,
-                                 std::uint32_t own_parent_port,
-                                 const LabelReader& nbr);
+SSMST_HOT_PATH std::string verify_labels_1round(const WeightedGraph& g,
+                                                NodeId v,
+                                                const NodeLabels& own,
+                                                std::uint32_t own_parent_port,
+                                                const LabelReader& nbr);
 
 /// The comparison performed when event E(v, u, j) occurs (Sections 7.2/8):
 /// checks C1 and C2 plus the piece-equality and root-identity checks of
@@ -39,8 +41,8 @@ std::string verify_labels_1round(const WeightedGraph& g, NodeId v,
 /// `mine` is the (possibly absent) piece I(F_j(v)) currently held by v;
 /// `theirs` is I(F_j(u)) as shown by the neighbour behind `port`.
 /// Absent (nullopt) means "no fragment of level j contains the node".
-std::string check_pair_event(const WeightedGraph& g, NodeId v,
-                             std::uint32_t port, std::uint32_t j,
+SSMST_HOT_PATH std::string check_pair_event(
+    const WeightedGraph& g, NodeId v, std::uint32_t port, std::uint32_t j,
                              const NodeLabels& own,
                              std::uint32_t own_parent_port,
                              const NodeLabels& their,

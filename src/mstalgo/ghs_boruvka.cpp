@@ -187,9 +187,9 @@ void GhsBoruvkaProtocol::corrupt(GhsState& s, NodeId v, Rng& rng) const {
 }
 
 std::size_t GhsBoruvkaProtocol::state_bits(const GhsState& s, NodeId v) const {
-  const int port_bits = bits_for_values(g_->degree(v) + 2);
-  const int phase_bits =
-      bits_for_counter(static_cast<std::uint64_t>(ceil_log2(g_->n() + 1)) + 2);
+  const std::size_t port_bits = bits_for_values(g_->degree(v) + 2);
+  const std::size_t phase_bits =
+      bits_for_counter(ceil_log2(g_->n() + 1) + 2);
   std::size_t bits = 0;
   bits += port_bits + id_bits_;
   bits += phase_bits;                                       // find_phase

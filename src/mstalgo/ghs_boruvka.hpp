@@ -6,6 +6,7 @@
 #include "graph/tree.hpp"
 #include "sim/protocol.hpp"
 #include "sim/simulation.hpp"
+#include "util/contract.hpp"
 
 namespace ssmst {
 
@@ -30,6 +31,7 @@ struct GhsState {
   std::int32_t transfer_phase = -1;
   bool done = false;
 };
+SSMST_REGISTER_HEADER(GhsState);
 
 /// GHS-style synchronous fragment algorithm (the classic Boruvka/GHS
 /// pattern recalled in Section 4.1): every fragment — no activity rule —
@@ -54,8 +56,8 @@ class GhsBoruvkaProtocol final : public Protocol<GhsState> {
  private:
   const WeightedGraph* g_;
   std::uint64_t window_;  // per-stage width: n
-  int id_bits_;
-  int weight_bits_;
+  std::size_t id_bits_;
+  std::size_t weight_bits_;
 };
 
 struct GhsRun {

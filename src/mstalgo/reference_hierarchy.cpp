@@ -79,7 +79,7 @@ ReferenceResult build_hierarchy_impl(const WeightedGraph& g,
     recorded.push_back(top);
   }
 
-  for (int phase = 0; !done; ++phase) {
+  for (unsigned phase = 0; !done; ++phase) {
     if (phase > 2 * bits_for_values(n) + 4) {
       throw std::logic_error("SYNC_MST reference failed to terminate");
     }
@@ -152,7 +152,7 @@ ReferenceResult build_hierarchy_impl(const WeightedGraph& g,
     for (const Active& a : active) {
       Fragment f;
       f.root = a.root;
-      f.level = phase;
+      f.level = static_cast<int>(phase);
       f.nodes = a.members;
       if (!a.spans) {
         f.has_candidate = true;

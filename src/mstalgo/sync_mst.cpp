@@ -287,10 +287,10 @@ void SyncMstProtocol::corrupt(SyncMstState& s, NodeId v, Rng& rng) const {
 
 std::size_t SyncMstProtocol::state_bits(const SyncMstState& s,
                                         NodeId v) const {
-  const int port_bits = bits_for_values(g_->degree(v) + 2);
-  const int n_bits = bits_for_counter(2ULL * g_->n() + 2);
-  const int phase_bits = bits_for_counter(
-      static_cast<std::uint64_t>(ceil_log2(g_->n() + 1)) + 2);
+  const std::size_t port_bits = bits_for_values(g_->degree(v) + 2);
+  const std::size_t n_bits = bits_for_counter(2ULL * g_->n() + 2);
+  const std::size_t phase_bits =
+      bits_for_counter(ceil_log2(g_->n() + 1) + 2);
   std::size_t bits = 0;
   bits += port_bits;                    // parent_port
   bits += id_bits_;                     // root_id

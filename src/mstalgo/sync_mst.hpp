@@ -8,6 +8,7 @@
 #include "graph/tree.hpp"
 #include "sim/protocol.hpp"
 #include "sim/simulation.hpp"
+#include "util/contract.hpp"
 
 namespace ssmst {
 
@@ -58,6 +59,7 @@ struct SyncMstState {
 
   friend bool operator==(const SyncMstState&, const SyncMstState&) = default;
 };
+SSMST_REGISTER_HEADER(SyncMstState);
 
 /// Distributed SYNC_MST (Section 4): synchronous, O(n) rounds, O(log n)
 /// bits per node. Not self-stabilizing — all nodes wake at round 0, as the
@@ -103,8 +105,8 @@ class SyncMstProtocol final : public Protocol<SyncMstState> {
   const WeightedGraph* g_;
   std::vector<std::tuple<int, NodeId, std::uint32_t>> trace_;
   std::mutex trace_mu_;  ///< guards trace_ during parallel rounds
-  int id_bits_;
-  int weight_bits_;
+  std::size_t id_bits_;
+  std::size_t weight_bits_;
 };
 
 /// Outcome of a full synchronous run.

@@ -5,6 +5,7 @@
 #include "labels/marker.hpp"
 #include "sim/protocol.hpp"
 #include "sim/simulation.hpp"
+#include "util/contract.hpp"
 
 namespace ssmst {
 
@@ -17,6 +18,7 @@ struct MultiWaveState {
   std::uint64_t ready = 0;   ///< naive variant: level completion convergecast
   std::uint32_t glevel = 0;  ///< naive variant: globally permitted level
 };
+SSMST_REGISTER_HEADER(MultiWaveState);
 
 /// Result of one Multi_Wave execution.
 struct MultiWaveResult {

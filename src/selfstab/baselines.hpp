@@ -4,6 +4,7 @@
 #include "labels/marker.hpp"
 #include "sim/protocol.hpp"
 #include "sim/simulation.hpp"
+#include "util/contract.hpp"
 
 namespace ssmst {
 
@@ -18,12 +19,16 @@ struct KkpState {
 /// The 1-round verifier of [54,55] run as a protocol: detection time 1,
 /// memory Theta(log^2 n). Used as the Table-1 comparison row and inside
 /// the transformer as an alternative checker.
+// ssmst-lint: allow(R5): KkpState is deliberately heap-backed (per-level
+// piece tables, Theta(log^2 n) bits) — the baseline is compared by value,
+// never register-memcpy'd, so the flat-header contract does not apply.
 class KkpVerifierProtocol final : public Protocol<KkpState> {
  public:
   explicit KkpVerifierProtocol(const WeightedGraph& g);
 
-  void step(NodeId v, KkpState& self, const NeighborReader<KkpState>& nbr,
-            std::uint64_t time) override;
+  SSMST_HOT_PATH void step(NodeId v, KkpState& self,
+                           const NeighborReader<KkpState>& nbr,
+                           std::uint64_t time) override;
 
   /// Activation-queue change test (exact): the step writes only the sticky
   /// alarm bit, so a node changes exactly when it newly alarms. A clean
@@ -31,9 +36,9 @@ class KkpVerifierProtocol final : public Protocol<KkpState> {
   /// KKM-regime sparse-activity case the queue-driven daemon targets.
   /// (The generic byte-compare default would not apply: KkpLabels is
   /// heap-backed, so KkpState is not trivially copyable.)
-  bool step_changed(NodeId v, KkpState& self,
-                    const NeighborReader<KkpState>& nbr,
-                    std::uint64_t time) override {
+  SSMST_HOT_PATH bool step_changed(NodeId v, KkpState& self,
+                                   const NeighborReader<KkpState>& nbr,
+                                   std::uint64_t time) override {
     const bool before = self.alarm;
     step(v, self, nbr, time);
     return self.alarm != before;

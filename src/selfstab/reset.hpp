@@ -5,6 +5,7 @@
 
 #include "sim/protocol.hpp"
 #include "sim/simulation.hpp"
+#include "util/contract.hpp"
 
 namespace ssmst {
 
@@ -17,13 +18,15 @@ struct ResetState {
   bool seeded = false;   ///< this node raised the alarm that caused it
   bool settled = false;  ///< this node and all its neighbours are in reset
 };
+SSMST_REGISTER_HEADER(ResetState);
 
 class ResetProtocol final : public Protocol<ResetState> {
  public:
   explicit ResetProtocol(const WeightedGraph& g) : g_(&g) {}
 
-  void step(NodeId v, ResetState& self, const NeighborReader<ResetState>& nbr,
-            std::uint64_t) override {
+  SSMST_HOT_PATH void step(NodeId v, ResetState& self,
+                           const NeighborReader<ResetState>& nbr,
+                           std::uint64_t) override {
     (void)v;
     if (!self.in_reset) {
       for (std::uint32_t p = 0; p < nbr.degree(); ++p) {

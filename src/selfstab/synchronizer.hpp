@@ -5,6 +5,7 @@
 
 #include "sim/protocol.hpp"
 #include "sim/simulation.hpp"
+#include "util/contract.hpp"
 
 namespace ssmst {
 
@@ -24,6 +25,14 @@ struct SynchronizedState {
   Inner cur;
   Inner prev;
 };
+// A synchronized register is a flat header exactly when the inner one is
+// (rule R5): the wrapper adds only a counter and two inner copies, so it
+// must never be the reason the memcpy contract breaks.
+template <typename Inner>
+inline constexpr bool synchronized_state_is_flat =
+    !std::is_trivially_copyable_v<Inner> ||
+    std::is_trivially_copyable_v<SynchronizedState<Inner>>;
+static_assert(synchronized_state_is_flat<int>);
 
 template <typename Inner>
 class Synchronizer final : public Protocol<SynchronizedState<Inner>> {
@@ -33,8 +42,12 @@ class Synchronizer final : public Protocol<SynchronizedState<Inner>> {
   Synchronizer(const WeightedGraph& g, Protocol<Inner>& inner)
       : g_(&g), inner_(&inner), locals_(g.n()) {}
 
-  void step(NodeId v, State& self, const NeighborReader<State>& nbr,
-            std::uint64_t) override {
+  // Snapshots every neighbour's round-k register into per-protocol scratch
+  // before the inner step — buffered simulation by design, not a pinned
+  // zero-alloc path (the zero-alloc contract covers the direct engines).
+  SSMST_ALLOC_OK void step(NodeId v, State& self,
+                           const NeighborReader<State>& nbr,
+                           std::uint64_t) override {
     // Execute the next inner round once all neighbours caught up.
     for (std::uint32_t p = 0; p < nbr.degree(); ++p) {
       if (nbr.at_port(p).pulse < self.pulse) return;
@@ -64,8 +77,9 @@ class Synchronizer final : public Protocol<SynchronizedState<Inner>> {
   /// iff it executes a pulse (the early return leaves it untouched), and a
   /// pulse always increments `pulse`. Nodes blocked on a lagging neighbour
   /// are therefore quiescent until that neighbour's register changes.
-  bool step_changed(NodeId v, State& self, const NeighborReader<State>& nbr,
-                    std::uint64_t time) override {
+  SSMST_HOT_PATH bool step_changed(NodeId v, State& self,
+                                   const NeighborReader<State>& nbr,
+                                   std::uint64_t time) override {
     const std::uint64_t before = self.pulse;
     this->step(v, self, nbr, time);
     return self.pulse != before;

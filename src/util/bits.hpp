@@ -1,30 +1,34 @@
 #pragma once
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 
 namespace ssmst {
 
 /// Number of bits needed to represent values in [0, n-1]; at least 1.
 /// This is the paper's "O(log n) bits per identifier" accounting unit.
-constexpr int bits_for_values(std::uint64_t n) {
+/// All four helpers return std::size_t: bit counts feed size arithmetic
+/// (state_bits sums, ladder bounds), and a signed intermediate would force
+/// a sign conversion at every call site.
+constexpr std::size_t bits_for_values(std::uint64_t n) {
   if (n <= 2) return 1;
-  return std::bit_width(n - 1);
+  return static_cast<std::size_t>(std::bit_width(n - 1));
 }
 
 /// Number of bits needed to store a counter bounded by `max_value` inclusive.
-constexpr int bits_for_counter(std::uint64_t max_value) {
-  return std::bit_width(max_value | 1ULL);
+constexpr std::size_t bits_for_counter(std::uint64_t max_value) {
+  return static_cast<std::size_t>(std::bit_width(max_value | 1ULL));
 }
 
 /// ceil(log2(n)) for n >= 1. ceil_log2(1) == 0.
-constexpr int ceil_log2(std::uint64_t n) {
-  return (n <= 1) ? 0 : std::bit_width(n - 1);
+constexpr std::size_t ceil_log2(std::uint64_t n) {
+  return (n <= 1) ? 0 : static_cast<std::size_t>(std::bit_width(n - 1));
 }
 
 /// floor(log2(n)) for n >= 1.
-constexpr int floor_log2(std::uint64_t n) {
-  return std::bit_width(n) - 1;
+constexpr std::size_t floor_log2(std::uint64_t n) {
+  return static_cast<std::size_t>(std::bit_width(n)) - 1;
 }
 
 }  // namespace ssmst

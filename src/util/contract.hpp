@@ -1,0 +1,60 @@
+#pragma once
+
+// Substrate-contract annotations, machine-checked by tools/lint/ssmst_lint.py
+// (see tools/lint/README.md for the rule catalogue R1-R5).
+//
+// The KKM guarantee — recover from arbitrary corruption of all memory —
+// rests on a handful of hand-written invariants: steady-state sync rounds
+// and async drains allocate nothing, steps never write arena stripes,
+// the ThreadPool is not re-entrant, result paths are deterministic, and
+// register headers are trivially copyable. Runtime tests pin those
+// invariants only on the paths they execute; the lint pass proves them on
+// the program text. These macros are how the text names its hot paths.
+//
+//   SSMST_HOT_PATH   Marks a function as a steady-state hot root: the lint
+//                    walks the call graph from every such function and
+//                    reports heap-allocating constructs it can reach (rule
+//                    R1). Annotate the per-round/per-unit entry points
+//                    (sync_round, async_unit, warm audit_into) and the
+//                    per-activation protocol kernels (step* overrides) —
+//                    virtual dispatch is not statically resolvable, so
+//                    every override on the hot path is its own root.
+//
+//   SSMST_ALLOC_OK   Marks a function as audited for allocation: the lint
+//                    prunes its body (and its callees) from the R1 walk.
+//                    Use it for cold sub-paths reachable from hot code
+//                    whose allocations are by design (one-shot alarm
+//                    traces, diagnostic helpers) — and say why in a
+//                    comment next to the annotation.
+//
+//   SSMST_REGISTER_HEADER(T)
+//                    Registers T as a register-header type: expands to the
+//                    is_trivially_copyable static_assert rule R5 demands
+//                    for every Protocol<T> instantiation (the striped-
+//                    arena contract in sim/protocol.hpp — copying a
+//                    register must be a flat header memcpy).
+//
+// Line-level suppression (any rule): put
+//     // ssmst-lint: allow(R1): <reason>
+// on the flagged line or the line directly above it. Suppressions without
+// a reason are themselves reported.
+//
+// Under clang the function annotations also emit [[clang::annotate]] so
+// the libclang (AST) frontend of ssmst_lint sees them without macro
+// tracking; under other compilers they expand to nothing and the
+// token-level frontend keys off the literal macro names instead.
+
+#include <type_traits>
+
+#if defined(__clang__)
+#define SSMST_HOT_PATH [[clang::annotate("ssmst::hot_path")]]
+#define SSMST_ALLOC_OK [[clang::annotate("ssmst::alloc_ok")]]
+#else
+#define SSMST_HOT_PATH
+#define SSMST_ALLOC_OK
+#endif
+
+#define SSMST_REGISTER_HEADER(T)                                           \
+  static_assert(std::is_trivially_copyable_v<T>,                           \
+                #T " is a register header: copying a register must be a "  \
+                   "flat memcpy (striped-arena contract, sim/protocol.hpp)")

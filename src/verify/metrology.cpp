@@ -140,6 +140,8 @@ std::uint64_t watchdog_budget_for(NodeId n) {
 
 ScaleProbeResult run_scale_probe(VerifierHarness& h,
                                  std::uint64_t warm_rounds) {
+  // ssmst-lint: allow(R4): wall-clock metrology — elapsed time is the
+  // measurand here, not an input to any protocol result.
   using Clock = std::chrono::steady_clock;
   const NodeId n = h.sim().graph().n();
   ScaleProbeResult out;

@@ -49,6 +49,8 @@ std::vector<std::uint32_t> reference_mst_edges(const WeightedGraph& g) {
 OracleReport check_precondition(const WeightedGraph& g) {
   if (g.n() == 0) return {false, "empty graph"};
   Dsu dsu(g.n());
+  // ssmst-lint: allow(R4): lookup table only — results come from emplace
+  // hits in deterministic edge order; iteration order is never observed.
   std::unordered_map<Weight, std::uint32_t> seen;
   seen.reserve(g.edges().size());
   for (std::uint32_t e = 0; e < g.edges().size(); ++e) {

@@ -12,6 +12,7 @@
 #include "labels/marker.hpp"
 #include "sim/protocol.hpp"
 #include "sim/simulation.hpp"
+#include "util/contract.hpp"
 
 namespace ssmst {
 
@@ -161,9 +162,9 @@ class VerifierProtocol final : public Protocol<VerifierState> {
  public:
   VerifierProtocol(const WeightedGraph& g, VerifierConfig cfg);
 
-  void step(NodeId v, VerifierState& self,
-            const NeighborReader<VerifierState>& nbr,
-            std::uint64_t time) override;
+  SSMST_HOT_PATH void step(NodeId v, VerifierState& self,
+                           const NeighborReader<VerifierState>& nbr,
+                           std::uint64_t time) override;
 
   /// Zero-copy sync hooks. The register is one flat trivially-copyable
   /// block, so step_into transfers `prev` with a single memcpy and runs
@@ -174,13 +175,13 @@ class VerifierProtocol final : public Protocol<VerifierState> {
   /// are transferred and the O(log n)-sized label payload is not touched
   /// at all — the true prev->next rewrite. Behaviour is pinned to `step`
   /// by the schedule-equivalence tests.
-  void step_into(NodeId v, const VerifierState& prev, VerifierState& next,
-                 const NeighborReader<VerifierState>& nbr,
-                 std::uint64_t time) override;
-  void step_into_coherent(NodeId v, const VerifierState& prev,
-                          VerifierState& next,
-                          const NeighborReader<VerifierState>& nbr,
-                          std::uint64_t time) override;
+  SSMST_HOT_PATH void step_into(NodeId v, const VerifierState& prev,
+                                VerifierState& next,
+                                const NeighborReader<VerifierState>& nbr,
+                                std::uint64_t time) override;
+  SSMST_HOT_PATH void step_into_coherent(
+      NodeId v, const VerifierState& prev, VerifierState& next,
+      const NeighborReader<VerifierState>& nbr, std::uint64_t time) override;
   bool rewrites_register() const override { return true; }
 
   /// Activation-queue change test (exact, O(1) on top of step): alarms are
@@ -189,9 +190,9 @@ class VerifierProtocol final : public Protocol<VerifierState> {
   /// advances at least one runtime timer per activation, so it always
   /// changes. Alarmed regions therefore stop costing daemon work, which is
   /// what makes sparse post-detection async units cheap.
-  bool step_changed(NodeId v, VerifierState& self,
-                    const NeighborReader<VerifierState>& nbr,
-                    std::uint64_t time) override {
+  SSMST_HOT_PATH bool step_changed(NodeId v, VerifierState& self,
+                                   const NeighborReader<VerifierState>& nbr,
+                                   std::uint64_t time) override {
     if (self.alarm != AlarmReason::kNone) return false;  // sticky: no-op
     step(v, self, nbr, time);
     return true;
@@ -259,8 +260,10 @@ class VerifierProtocol final : public Protocol<VerifierState> {
   void run_ask(NodeId v, VerifierState& self,
                const NeighborReader<VerifierState>& nbr);
 
-  void raise(NodeId v, VerifierState& self, AlarmReason reason,
-             std::string detail);
+  // Alarms are sticky, so each node allocates its trace entry at most once
+  // per episode — a one-shot cold transition, not steady-state work.
+  SSMST_ALLOC_OK void raise(NodeId v, VerifierState& self, AlarmReason reason,
+                            std::string detail);
 
   bool piece_is_mine(const VerifierState& self, int which,
                      const Piece& piece, bool bc_flag) const;

@@ -1,0 +1,17 @@
+// Suppressed variant of r1_violation.cpp: the same construct carries a
+// reasoned allow, so the lint must record it as `allowed` and exit 0.
+#include <vector>
+
+namespace fixture {
+
+void helper(std::vector<int>& out) {
+  // ssmst-lint: allow(R1): fixture — pretend this is a bounded cold ramp.
+  out.push_back(1);
+}
+
+SSMST_HOT_PATH void hot_round() {
+  std::vector<int> scratch;
+  helper(scratch);
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Planted R1 violation: a heap-allocating construct reachable from an
+// SSMST_HOT_PATH root. Never compiled — consumed by tools/lint/ssmst_lint.py
+// via the fixture driver (tests/test_lint.cpp), which asserts that exactly
+// rule R1 fires here.
+#include <vector>
+
+namespace fixture {
+
+void helper(std::vector<int>& out) {
+  out.push_back(1);  // growth on a non-member base, reached from a hot root
+}
+
+SSMST_HOT_PATH void hot_round() {
+  std::vector<int> scratch;
+  helper(scratch);
+}
+
+}  // namespace fixture

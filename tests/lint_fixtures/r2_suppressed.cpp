@@ -1,0 +1,23 @@
+// Suppressed variant of r2_violation.cpp: both step-body arena touches
+// carry reasoned allows, so the lint records them as `allowed` and exits 0.
+namespace fixture {
+
+struct Labels {
+  int* roots();
+  void alloc_levels(int n);
+};
+
+struct State {
+  Labels labels;
+};
+
+struct BadProtocol {
+  void step(State& self) {
+    // ssmst-lint: allow(R2): fixture — pretend this is a marker-side step.
+    self.labels.alloc_levels(4);
+    // ssmst-lint: allow(R2): fixture — pretend this is a marker-side step.
+    self.labels.roots()[0] = 7;
+  }
+};
+
+}  // namespace fixture

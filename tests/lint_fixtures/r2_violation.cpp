@@ -1,0 +1,22 @@
+// Planted R2 violation: a protocol step body writing a label stripe through
+// a mutable accessor and allocating stripe storage. Never compiled — see
+// tests/test_lint.cpp.
+namespace fixture {
+
+struct Labels {
+  int* roots();
+  void alloc_levels(int n);
+};
+
+struct State {
+  Labels labels;
+};
+
+struct BadProtocol {
+  void step(State& self) {
+    self.labels.alloc_levels(4);   // stripe allocation inside a step
+    self.labels.roots()[0] = 7;    // stripe write inside a step
+  }
+};
+
+}  // namespace fixture

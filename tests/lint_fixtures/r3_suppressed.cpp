@@ -1,0 +1,23 @@
+// Suppressed variant of r3_violation.cpp with a reasoned allow.
+#include <cstdint>
+
+namespace fixture {
+
+struct Engine {
+  void sync_round();
+};
+
+struct Pool {
+  template <typename F>
+  void run(std::uint32_t tasks, const F& body);
+};
+
+void bad_nesting(Pool* pool_, Engine& engine) {
+  pool_->run(4, [&](std::uint32_t) {
+    // ssmst-lint: allow(R3): fixture — pretend this pool is a distinct,
+    // single-task utility pool.
+    engine.sync_round();
+  });
+}
+
+}  // namespace fixture

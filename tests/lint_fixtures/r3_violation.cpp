@@ -1,0 +1,23 @@
+// Planted R3 violation: an engine entry point called lexically inside a
+// lambda submitted to the ThreadPool — the fork-join pool is not
+// re-entrant. Never compiled — see tests/test_lint.cpp.
+#include <cstdint>
+
+namespace fixture {
+
+struct Engine {
+  void sync_round();
+};
+
+struct Pool {
+  template <typename F>
+  void run(std::uint32_t tasks, const F& body);
+};
+
+void bad_nesting(Pool* pool_, Engine& engine) {
+  pool_->run(4, [&](std::uint32_t) {
+    engine.sync_round();  // re-enters the engine from inside a pool task
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Suppressed variant of r4_violation.cpp with reasoned allows.
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+
+int nondeterministic_result() {
+  // ssmst-lint: allow(R4): fixture — pretend this is a lookup-only table.
+  std::unordered_map<int, int> table;
+  // ssmst-lint: allow(R4): fixture — pretend this feeds a diagnostic only.
+  table[rand()] = 1;
+  int sum = 0;
+  for (const auto& [k, v] : table) sum += k * v;
+  return sum;
+}
+
+}  // namespace fixture

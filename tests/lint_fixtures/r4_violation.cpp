@@ -1,0 +1,17 @@
+// Planted R4 violation: nondeterminism sources in a result path — a wall
+// clock, C rand() and an iteration-order-dependent container. Never
+// compiled — see tests/test_lint.cpp.
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+
+int nondeterministic_result() {
+  std::unordered_map<int, int> table;  // iteration order is unspecified
+  table[rand()] = 1;                   // seeds results from the libc PRNG
+  int sum = 0;
+  for (const auto& [k, v] : table) sum += k * v;
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Suppressed variant of r5_violation.cpp: the base specifier carries a
+// reasoned allow (the KkpState pattern — a deliberately heap-backed
+// register that is never memcpy'd).
+namespace fixture {
+
+template <typename State>
+struct Protocol {};
+
+struct LooseState {
+  int field = 0;
+};
+
+// ssmst-lint: allow(R5): fixture — pretend this register is compared by
+// value and never memcpy'd.
+struct LooseProtocol final : public Protocol<LooseState> {};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Planted R5 violation: a Protocol<X> instantiation with no
+// is_trivially_copyable static_assert for X anywhere in the include
+// closure. Never compiled — see tests/test_lint.cpp.
+namespace fixture {
+
+template <typename State>
+struct Protocol {};
+
+struct LooseState {
+  int field = 0;
+};
+
+struct LooseProtocol final : public Protocol<LooseState> {};
+
+}  // namespace fixture

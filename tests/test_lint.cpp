@@ -1,0 +1,143 @@
+// Fixture driver for tools/lint/ssmst_lint.py: proves each contract rule
+// R1-R5 fires on its planted violation in tests/lint_fixtures/ and stays
+// silent (status `allowed`, exit 0) on the reasoned-suppression variant —
+// so a regression in the lint itself cannot silently stop guarding the
+// substrate contract. Also pins the tree-wide invariant the lint CI job
+// enforces: the repository lints clean.
+//
+// The lint is plain python3 (token frontend; no libclang needed). When the
+// interpreter is missing the tests skip rather than fail, matching how the
+// bench pipeline degrades.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef SSMST_SOURCE_DIR
+#error "CMake must define SSMST_SOURCE_DIR for the lint fixture driver"
+#endif
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string out;
+};
+
+/// One finding of `--records` output: RULE\tFILE\tLINE\tSTATUS.
+struct Record {
+  std::string rule;
+  std::string status;
+};
+
+LintRun run_lint(const std::string& fixture_rel) {
+  const std::string root = SSMST_SOURCE_DIR;
+  const std::string cmd = "python3 '" + root + "/tools/lint/ssmst_lint.py'" +
+                          " --root '" + root + "'" + " --files '" + root +
+                          "/" + fixture_rel + "' --records 2>/dev/null";
+  LintRun r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf;
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) r.out += buf.data();
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::vector<Record> parse_records(const std::string& out) {
+  std::vector<Record> recs;
+  std::istringstream ss(out);
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    Record rec;
+    std::string file, lineno;
+    std::getline(ls, rec.rule, '\t');
+    std::getline(ls, file, '\t');
+    std::getline(ls, lineno, '\t');
+    std::getline(ls, rec.status);
+    recs.push_back(rec);
+  }
+  return recs;
+}
+
+bool python3_available() {
+  return std::system("python3 -c '' >/dev/null 2>&1") == 0;
+}
+
+class LintFixture : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (!python3_available()) GTEST_SKIP() << "python3 not available";
+  }
+};
+
+TEST_P(LintFixture, ViolationFiresExactlyThisRule) {
+  const std::string rule = GetParam();
+  std::string lower = rule;
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  const auto run =
+      run_lint("tests/lint_fixtures/" + lower + "_violation.cpp");
+  ASSERT_GE(run.exit_code, 0) << "lint did not run";
+  EXPECT_EQ(run.exit_code, 1) << "planted violation must fail the lint\n"
+                              << run.out;
+  const auto recs = parse_records(run.out);
+  ASSERT_FALSE(recs.empty()) << "no findings for the planted violation";
+  std::size_t violations = 0;
+  for (const auto& r : recs) {
+    EXPECT_EQ(r.rule, rule) << "unexpected rule fired on the fixture";
+    if (r.status == "violation") ++violations;
+  }
+  EXPECT_GE(violations, 1u) << "expected at least one `violation` record";
+}
+
+TEST_P(LintFixture, SuppressedVariantIsRecordedButClean) {
+  const std::string rule = GetParam();
+  std::string lower = rule;
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  const auto run =
+      run_lint("tests/lint_fixtures/" + lower + "_suppressed.cpp");
+  ASSERT_GE(run.exit_code, 0) << "lint did not run";
+  EXPECT_EQ(run.exit_code, 0) << "reasoned allow must not fail the lint\n"
+                              << run.out;
+  const auto recs = parse_records(run.out);
+  ASSERT_FALSE(recs.empty())
+      << "suppressed findings must still be recorded (audit trail)";
+  for (const auto& r : recs) {
+    EXPECT_EQ(r.rule, rule);
+    EXPECT_EQ(r.status, "allowed") << "suppression did not take";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, LintFixture,
+                         ::testing::Values("R1", "R2", "R3", "R4", "R5"),
+                         [](const auto& name_info) { return name_info.param; });
+
+/// The invariant the lint CI job enforces, pinned as a test so local runs
+/// catch a contract break before CI does: the tree lints clean (warm and
+/// allowed findings are fine; violations and reasonless suppressions are
+/// not).
+TEST(LintTree, RepositoryLintsClean) {
+  if (!python3_available()) GTEST_SKIP() << "python3 not available";
+  const std::string root = SSMST_SOURCE_DIR;
+  const std::string cmd = "python3 '" + root + "/tools/lint/ssmst_lint.py'" +
+                          " --root '" + root + "' 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string out;
+  std::array<char, 4096> buf;
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) out += buf.data();
+  const int status = pclose(pipe);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "substrate-contract violation:\n"
+                                    << out;
+}
+
+}  // namespace

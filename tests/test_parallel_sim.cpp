@@ -522,7 +522,7 @@ TEST(ParallelSim, AsyncUnitsDemoteCoherence) {
   const auto init = zc_proto.initial_states(marker);
   Simulation<VerifierState> zc(g, zc_proto, init);
   Simulation<VerifierState> seeded(g, seeded_proto, init);
-  for (int cycle = 0; cycle < 5; ++cycle) {
+  for (std::uint64_t cycle = 0; cycle < 5; ++cycle) {
     for (int r = 0; r < 7; ++r) {
       zc.sync_round();
       seeded.sync_round();

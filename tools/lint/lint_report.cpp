@@ -1,0 +1,53 @@
+// Folds `ssmst_lint.py --records` output (RULE\tFILE\tLINE\tSTATUS lines on
+// stdin) into the flat two-level JSON the bench pipeline already tracks
+// (util/bench_io's BenchJson): one row per finding keyed "RULE FILE:LINE"
+// with its status as the metric, plus a "lint/summary" row with the status
+// totals. Merge-writing means repeated lint runs (or the fixture driver and
+// the tree-wide pass) can contribute to one lint_report.json artifact.
+//
+// Usage: ssmst_lint.py --records | lint_report --out=lint_report.json
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "util/bench_io.hpp"
+
+int main(int argc, char** argv) {
+  const std::string out =
+      ssmst::arg_value(argc, argv, "--out", "lint_report.json");
+
+  ssmst::BenchJson json;
+  std::map<std::string, double> totals = {
+      {"violation", 0}, {"warm", 0}, {"allowed", 0}, {"bad-suppression", 0}};
+
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string rule, file, lineno, status;
+    if (!std::getline(ss, rule, '\t') || !std::getline(ss, file, '\t') ||
+        !std::getline(ss, lineno, '\t') || !std::getline(ss, status)) {
+      std::fprintf(stderr, "lint_report: malformed record: %s\n",
+                   line.c_str());
+      return 2;
+    }
+    json.record(rule + " " + file + ":" + lineno, status, 1.0);
+    ++totals[status];
+    ++rows;
+  }
+  for (const auto& [status, count] : totals) {
+    json.record("lint/summary", status, count);
+  }
+  if (!json.flush(out)) {
+    std::fprintf(stderr, "lint_report: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "lint_report: %zu finding(s) -> %s\n", rows,
+               out.c_str());
+  // The lint's own exit code is the gate; the report always writes.
+  return totals["violation"] + totals["bad-suppression"] > 0 ? 1 : 0;
+}
