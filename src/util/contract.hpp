@@ -25,7 +25,12 @@
 //                    Use it for cold sub-paths reachable from hot code
 //                    whose allocations are by design (one-shot alarm
 //                    traces, diagnostic helpers) — and say why in a
-//                    comment next to the annotation.
+//                    comment next to the annotation. Unlike SSMST_HOT_PATH
+//                    (which merges by bare name, so one header annotation
+//                    covers every override), this binds only to the file
+//                    it appears in and its stem-paired header/.cpp: an
+//                    allowance on one protocol's step never silences a
+//                    same-named kernel elsewhere.
 //
 //   SSMST_REGISTER_HEADER(T)
 //                    Registers T as a register-header type: expands to the

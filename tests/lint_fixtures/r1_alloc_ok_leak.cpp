@@ -1,0 +1,14 @@
+// Planted R1 violation in a hot `step` kernel while an *unrelated* file
+// (r1_alloc_ok_other.hpp) carries SSMST_ALLOC_OK on a same-named `step`.
+// The allowance must not leak across files: R1 must still fire here.
+// Never compiled — consumed by tools/lint/ssmst_lint.py via the fixture
+// driver (tests/test_lint.cpp) together with its companion header.
+
+namespace fixture {
+
+struct HotProto {
+  int acc_;
+  SSMST_HOT_PATH void step(int v) { acc_ = *(new int(v)); }
+};
+
+}  // namespace fixture

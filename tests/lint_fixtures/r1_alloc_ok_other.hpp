@@ -1,0 +1,15 @@
+// Companion to r1_alloc_ok_leak.cpp: a *different* protocol whose `step`
+// is audited alloc-ok (cold ramp growth, pinned by the runtime alloc
+// tests). The annotation must bind to this definition only — leaking it
+// to every function named `step` would prune hot kernels tree-wide, which
+// is exactly the regression the pair pins.
+#include <vector>
+
+namespace fixture {
+
+struct OtherProto {
+  std::vector<int> buf_;
+  SSMST_ALLOC_OK void step(int n) { buf_.resize(static_cast<unsigned>(n)); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Planted R1 violation inside a constructor with a member-initializer
+// list, reached from a hot root via direct construction. Regression for
+// the extractor mis-attributing such a body to the last initializer's
+// name (`n_`), which broke call-graph resolution: the planted `new` was
+// never walked and the lint reported clean.
+
+namespace fixture {
+
+struct Scratch {
+  int* base_;
+  int n_;
+  Scratch(int n) : base_(nullptr), n_(n) { base_ = new int[n_]; }
+};
+
+SSMST_HOT_PATH void hot_round() {
+  auto s = Scratch(8);
+  (void)s;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Regression for suppression scope: an `allow` separated from the flagged
+// line by a blank line is stale and must NOT suppress — the contiguous
+// comment block directly above the flagged line ends at the first blank
+// or code line.
+
+namespace fixture {
+
+// ssmst-lint: allow(R1): stale — a blank line separates this from the new.
+
+SSMST_HOT_PATH void hot_round() { int* p = new int(1); (void)p; }
+
+}  // namespace fixture

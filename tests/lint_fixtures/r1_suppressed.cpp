@@ -11,6 +11,8 @@ void helper(std::vector<int>& out) {
 
 SSMST_HOT_PATH void hot_round() {
   std::vector<int> scratch;
+  alignas(int) static char slab[sizeof(int)];
+  new (slab) int(0);  // placement new constructs in place: no finding
   helper(scratch);
 }
 

@@ -13,6 +13,8 @@ void helper(std::vector<int>& out) {
 SSMST_HOT_PATH void hot_round() {
   std::vector<int> scratch;
   helper(scratch);
+  int* scoped = ::new int(1);  // `::new` is a plain heap allocation too
+  (void)scoped;
 }
 
 }  // namespace fixture

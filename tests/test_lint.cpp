@@ -32,14 +32,16 @@ struct LintRun {
 /// One finding of `--records` output: RULE\tFILE\tLINE\tSTATUS.
 struct Record {
   std::string rule;
+  std::string file;
   std::string status;
 };
 
-LintRun run_lint(const std::string& fixture_rel) {
+LintRun run_lint(const std::vector<std::string>& fixture_rels) {
   const std::string root = SSMST_SOURCE_DIR;
-  const std::string cmd = "python3 '" + root + "/tools/lint/ssmst_lint.py'" +
-                          " --root '" + root + "'" + " --files '" + root +
-                          "/" + fixture_rel + "' --records 2>/dev/null";
+  std::string cmd = "python3 '" + root + "/tools/lint/ssmst_lint.py'" +
+                    " --root '" + root + "' --files";
+  for (const auto& rel : fixture_rels) cmd += " '" + root + "/" + rel + "'";
+  cmd += " --records 2>/dev/null";
   LintRun r;
   FILE* pipe = popen(cmd.c_str(), "r");
   if (pipe == nullptr) return r;
@@ -58,9 +60,9 @@ std::vector<Record> parse_records(const std::string& out) {
     if (line.empty()) continue;
     std::istringstream ls(line);
     Record rec;
-    std::string file, lineno;
+    std::string lineno;
     std::getline(ls, rec.rule, '\t');
-    std::getline(ls, file, '\t');
+    std::getline(ls, rec.file, '\t');
     std::getline(ls, lineno, '\t');
     std::getline(ls, rec.status);
     recs.push_back(rec);
@@ -84,7 +86,7 @@ TEST_P(LintFixture, ViolationFiresExactlyThisRule) {
   std::string lower = rule;
   for (char& c : lower) c = static_cast<char>(std::tolower(c));
   const auto run =
-      run_lint("tests/lint_fixtures/" + lower + "_violation.cpp");
+      run_lint({"tests/lint_fixtures/" + lower + "_violation.cpp"});
   ASSERT_GE(run.exit_code, 0) << "lint did not run";
   EXPECT_EQ(run.exit_code, 1) << "planted violation must fail the lint\n"
                               << run.out;
@@ -103,7 +105,7 @@ TEST_P(LintFixture, SuppressedVariantIsRecordedButClean) {
   std::string lower = rule;
   for (char& c : lower) c = static_cast<char>(std::tolower(c));
   const auto run =
-      run_lint("tests/lint_fixtures/" + lower + "_suppressed.cpp");
+      run_lint({"tests/lint_fixtures/" + lower + "_suppressed.cpp"});
   ASSERT_GE(run.exit_code, 0) << "lint did not run";
   EXPECT_EQ(run.exit_code, 0) << "reasoned allow must not fail the lint\n"
                               << run.out;
@@ -119,6 +121,64 @@ TEST_P(LintFixture, SuppressedVariantIsRecordedButClean) {
 INSTANTIATE_TEST_SUITE_P(AllRules, LintFixture,
                          ::testing::Values("R1", "R2", "R3", "R4", "R5"),
                          [](const auto& name_info) { return name_info.param; });
+
+/// Regression for the ALLOC_OK-by-name leak: SSMST_ALLOC_OK on one file's
+/// `step` (r1_alloc_ok_other.hpp) must not prune same-named hot kernels
+/// in unrelated files from the R1 walk — the planted `new` in
+/// r1_alloc_ok_leak.cpp's hot step must still fire, while the audited
+/// step in the companion header stays pruned (no finding at all).
+TEST(LintScope, AllocOkBindsToItsDefinitionFile) {
+  if (!python3_available()) GTEST_SKIP() << "python3 not available";
+  const auto run = run_lint({"tests/lint_fixtures/r1_alloc_ok_other.hpp",
+                             "tests/lint_fixtures/r1_alloc_ok_leak.cpp"});
+  ASSERT_GE(run.exit_code, 0) << "lint did not run";
+  EXPECT_EQ(run.exit_code, 1)
+      << "a leaked ALLOC_OK pruned a hot step kernel\n"
+      << run.out;
+  const auto recs = parse_records(run.out);
+  std::size_t leak_violations = 0;
+  for (const auto& r : recs) {
+    EXPECT_EQ(r.rule, "R1");
+    EXPECT_NE(r.file.find("r1_alloc_ok_leak.cpp"), std::string::npos)
+        << "ALLOC_OK must still cover its own definition file: " << r.file;
+    if (r.status == "violation") ++leak_violations;
+  }
+  EXPECT_GE(leak_violations, 1u) << "planted `new` in the hot step missed";
+}
+
+/// Regression for constructor extraction: a member-initializer list must
+/// not detach the brace body from the constructor's name, or the planted
+/// allocation in a ctor reached from a hot root goes unwalked.
+TEST(LintScope, CtorInitListBodyIsWalked) {
+  if (!python3_available()) GTEST_SKIP() << "python3 not available";
+  const auto run = run_lint({"tests/lint_fixtures/r1_ctor_init.cpp"});
+  ASSERT_GE(run.exit_code, 0) << "lint did not run";
+  EXPECT_EQ(run.exit_code, 1) << "ctor body escaped the R1 walk\n"
+                              << run.out;
+  std::size_t violations = 0;
+  for (const auto& r : parse_records(run.out)) {
+    EXPECT_EQ(r.rule, "R1");
+    if (r.status == "violation") ++violations;
+  }
+  EXPECT_GE(violations, 1u) << "planted `new` in the ctor body missed";
+}
+
+/// Regression for suppression scope: an allow separated from the flagged
+/// line by a blank line must not suppress.
+TEST(LintScope, StaleSuppressionAcrossBlankLineDoesNotTake) {
+  if (!python3_available()) GTEST_SKIP() << "python3 not available";
+  const auto run = run_lint({"tests/lint_fixtures/r1_stale_suppression.cpp"});
+  ASSERT_GE(run.exit_code, 0) << "lint did not run";
+  EXPECT_EQ(run.exit_code, 1) << "stale allow suppressed across a blank "
+                                 "line\n"
+                              << run.out;
+  std::size_t violations = 0;
+  for (const auto& r : parse_records(run.out)) {
+    EXPECT_EQ(r.rule, "R1");
+    if (r.status == "violation") ++violations;
+  }
+  EXPECT_GE(violations, 1u);
+}
 
 /// The invariant the lint CI job enforces, pinned as a test so local runs
 /// catch a contract break before CI does: the tree lints clean (warm and

@@ -14,6 +14,12 @@ Rules (catalogue with examples in tools/lint/README.md):
                         function annotated SSMST_HOT_PATH. The call graph is
                         walked from every annotated root; SSMST_ALLOC_OK
                         prunes a function (and its callees) from the walk.
+                        SSMST_HOT_PATH merges by bare name (an extra root
+                        only adds checks, and virtual kernels are annotated
+                        once in the interface header); SSMST_ALLOC_OK binds
+                        to the annotated definition's file (or its
+                        stem-paired header/.cpp) only — it never leaks to
+                        same-named functions in unrelated files.
                         Growth calls (push_back/resize/...) on warm member
                         buffers (trailing-underscore bases) are reported as
                         `warm`, not violations: capacity reuse is the idiom
@@ -40,8 +46,9 @@ Rules (catalogue with examples in tools/lint/README.md):
                         defining file's include closure.
 
 Suppression: `// ssmst-lint: allow(Rn): <reason>` on the flagged line or in
-the contiguous comment block directly above it. A suppression without a
-reason is itself reported (status `bad-suppression`).
+the contiguous comment block directly above it (comment-only lines; the
+first blank or code line ends the block). A suppression without a reason is
+itself reported (status `bad-suppression`).
 
 Frontends. With --compile-commands and a working libclang (python3-clang),
 function extents and annotations come from the clang AST; everywhere else a
@@ -236,42 +243,44 @@ class Func:
 
 
 class SourceFile:
-    __slots__ = ("path", "code", "comments", "tokens", "suppressions",
-                 "functions", "decl_annotations", "includes", "pp_lines")
+    __slots__ = ("path", "code", "code_lines", "comments", "tokens",
+                 "suppressions", "functions", "decl_annotations", "includes",
+                 "pp_lines")
 
     def __init__(self, path, text):
         self.path = path
         self.code, self.comments = split_code_and_comments(text)
+        self.code_lines = self.code.split("\n")
         self.tokens = tokenize(self.code)
         self.suppressions = parse_suppressions(self.comments)
         self.includes = re.findall(r'#\s*include\s*"([^"]+)"', text)
-        self.pp_lines = {i + 1 for i, l in enumerate(self.code.split("\n"))
+        self.pp_lines = {i + 1 for i, l in enumerate(self.code_lines)
                          if l.lstrip().startswith("#")}
         self.functions, self.decl_annotations = extract_functions(
             self.tokens, path)
 
-    def line_is_comment_or_blank(self, ln):
-        # True when line `ln` of the original file holds only comment/blank
-        # content in the stripped code.
-        lines = self.code.split("\n")
-        if 1 <= ln <= len(lines):
-            return lines[ln - 1].strip() == ""
-        return False
+    def line_is_comment_only(self, ln):
+        # True when line `ln` of the original file holds a comment and
+        # nothing else: blank in the stripped code, with comment text
+        # recorded. A genuinely blank line is NOT comment-only — it ends a
+        # suppression's comment block.
+        if not 1 <= ln <= len(self.code_lines):
+            return False
+        return (self.code_lines[ln - 1].strip() == ""
+                and self.comments.get(ln, "").strip() != "")
 
     def suppression_for(self, rule, line):
         """Suppression covering `line`: on the line itself or in the
-        contiguous comment block directly above. Returns (found, reason)."""
+        contiguous comment block directly above (the walk stops at the
+        first blank or code line). Returns (found, reason)."""
         for (r, reason) in self.suppressions.get(line, []):
             if r == rule:
                 return True, reason
         ln = line - 1
-        while ln >= 1 and (ln in self.suppressions
-                           or self.line_is_comment_or_blank(ln)):
+        while ln >= 1 and self.line_is_comment_only(ln):
             for (r, reason) in self.suppressions.get(ln, []):
                 if r == rule:
                     return True, reason
-            if not self.line_is_comment_or_blank(ln):
-                break
             ln -= 1
         return False, None
 
@@ -305,6 +314,51 @@ def match_brace(tokens, i):
                 return i + 1
         i += 1
     return n
+
+
+def skip_initializer_list(tokens, i):
+    """tokens[i] == ':' right after a constructor's parameter list (and
+    qualifiers). Skips the `name(args)` / `name{args}` initializer groups
+    and returns the index of the body '{', or -1 when what follows is not
+    a member-initializer list."""
+    n = len(tokens)
+    j = i + 1
+    while True:
+        if j >= n or not re.match(r"[A-Za-z_]", tokens[j][0]):
+            return -1
+        j += 1
+        while (j + 1 < n and tokens[j][0] == "::"
+               and re.match(r"[A-Za-z_]", tokens[j + 1][0])):
+            j += 2
+        if j < n and tokens[j][0] == "<":
+            # base-class initializer with template args: Base<T>(x)
+            depth = 0
+            while j < n:
+                u = tokens[j][0]
+                if u == "<":
+                    depth += 1
+                elif u == ">":
+                    depth -= 1
+                    if depth == 0:
+                        j += 1
+                        break
+                elif u in ("(", "{", ")", ";"):
+                    return -1
+                j += 1
+        if j >= n:
+            return -1
+        if tokens[j][0] == "(":
+            j = match_paren(tokens, j)
+        elif tokens[j][0] == "{":
+            j = match_brace(tokens, j)
+        else:
+            return -1
+        if j < n and tokens[j][0] == ",":
+            j += 1
+            continue
+        if j < n and tokens[j][0] == "{":
+            return j
+        return -1
 
 
 def extract_functions(tokens, path):
@@ -341,6 +395,15 @@ def extract_functions(tokens, path):
                 q = tokens[j][0]
                 if q == "{":
                     is_def = True
+                    break
+                if q == ":":
+                    # constructor member-initializer list: attribute the
+                    # brace body to the constructor, not to the last
+                    # initializer's name
+                    body_idx = skip_initializer_list(tokens, j)
+                    if body_idx >= 0:
+                        j = body_idx
+                        is_def = True
                     break
                 if q in (";", ")", ",", "(", "}"):
                     break
@@ -387,17 +450,29 @@ class Project:
                 continue
             rel = os.path.relpath(p, root)
             self.files[rel] = SourceFile(rel, text)
-        # Global annotation map: declaration annotations merge with any
-        # definition's own (virtual overrides annotated in headers).
-        self.name_annotations = defaultdict(set)
+        # Annotation maps. SSMST_HOT_PATH merges globally by bare name:
+        # it over-approximates (an extra root only adds checks) and virtual
+        # step kernels are annotated once in the interface header.
+        # SSMST_ALLOC_OK *prunes* the R1 walk, so it must never leak
+        # between same-named functions: it is keyed by the file it appears
+        # in and binds only to definitions in that file or its stem-paired
+        # header/.cpp (a header declaration annotating its out-of-line
+        # definition).
+        self.hot_names = set()
+        self.alloc_ok_at = defaultdict(set)  # name -> {rel paths annotated}
         self.funcs_by_name = defaultdict(list)
-        for sf in self.files.values():
+        for rel, sf in self.files.items():
             for name, ann in sf.decl_annotations.items():
-                self.name_annotations[name] |= ann
+                if HOT_MACRO in ann:
+                    self.hot_names.add(name)
+                if ALLOC_OK_MACRO in ann:
+                    self.alloc_ok_at[name].add(rel)
             for fn in sf.functions:
                 self.funcs_by_name[fn.name].append(fn)
-                if fn.annotations:
-                    self.name_annotations[fn.name] |= fn.annotations
+                if HOT_MACRO in fn.annotations:
+                    self.hot_names.add(fn.name)
+                if ALLOC_OK_MACRO in fn.annotations:
+                    self.alloc_ok_at[fn.name].add(rel)
         self._closures = {}
 
     def resolve_include(self, inc):
@@ -434,8 +509,19 @@ class Project:
         self._closures[rel] = seen
         return seen
 
-    def annotations_of(self, fn):
-        return fn.annotations | self.name_annotations.get(fn.name, set())
+    def is_hot(self, fn):
+        return HOT_MACRO in fn.annotations or fn.name in self.hot_names
+
+    def is_alloc_ok(self, fn):
+        """ALLOC_OK binds to the specific definition: annotated in place,
+        elsewhere in the same file, or in the stem-paired header/.cpp.
+        Never merged by bare name across unrelated files — that would
+        silently prune same-named hot kernels from the R1 walk."""
+        if ALLOC_OK_MACRO in fn.annotations:
+            return True
+        stem = os.path.splitext(fn.path)[0]
+        return any(os.path.splitext(p)[0] == stem
+                   for p in self.alloc_ok_at.get(fn.name, ()))
 
     def resolve_callees(self, fn):
         """Functions plausibly called from `fn`: plain (non-member)
@@ -522,7 +608,7 @@ def run_r1(project, findings):
     roots = []
     for fns in project.funcs_by_name.values():
         for fn in fns:
-            if HOT_MACRO in project.annotations_of(fn):
+            if project.is_hot(fn):
                 roots.append(fn)
     visited = set()
     stack = list(roots)
@@ -532,11 +618,11 @@ def run_r1(project, findings):
         if key in visited:
             continue
         visited.add(key)
-        if ALLOC_OK_MACRO in project.annotations_of(fn):
+        if project.is_alloc_ok(fn):
             continue
         scan_r1_body(project, fn, findings)
         for callee in project.resolve_callees(fn):
-            if ALLOC_OK_MACRO not in project.annotations_of(callee):
+            if not project.is_alloc_ok(callee):
                 stack.append(callee)
 
 
@@ -548,9 +634,22 @@ def scan_r1_body(project, fn, findings):
         t, ln = body[k]
         nxt = body[k + 1][0] if k + 1 < n else ""
         prv = body[k - 1][0] if k > 0 else ""
-        if t == "new" and prv != "::":  # operator new (placement included)
-            emit(findings, sf, "R1", ln, "violation",
-                 f"`new` reachable from hot path (in {fn.name})")
+        if t == "new":
+            # `new` and `::new` both heap-allocate. Genuine placement new
+            # (`new (buf) T`) constructs in place and is exempt: a
+            # parenthesized list right after `new` followed by a type name
+            # is a placement-argument list — except std::nothrow, which is
+            # a plain allocation that returns nullptr on failure.
+            placement = False
+            if nxt == "(":
+                close = match_paren(body, k + 1)
+                inner = {u for u, _ in body[k + 1:close]}
+                after = body[close][0] if close < n else ""
+                placement = ("nothrow" not in inner
+                             and bool(re.match(r"[A-Za-z_:]", after)))
+            if not placement:
+                emit(findings, sf, "R1", ln, "violation",
+                     f"`new` reachable from hot path (in {fn.name})")
         elif t in ALLOC_CALLS and nxt == "(" and prv not in (".", "->"):
             emit(findings, sf, "R1", ln, "violation",
                  f"allocating call {t}() reachable from hot path "
@@ -731,8 +830,23 @@ def try_clang_project(root, paths, compile_commands):
         if src in seen_tus:
             continue
         seen_tus.add(src)
-        args = [a for a in list(cmd.arguments)[1:]
-                if a not in (cmd.filename, "-c", "-o")][:-1]
+        # Keep the real compile flags: drop only the compiler name, `-c`,
+        # `-o` together with its operand, and the source file itself —
+        # whatever order the build emitted them in.
+        args = []
+        skip_next = False
+        for a in list(cmd.arguments)[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if a == "-o":
+                skip_next = True
+                continue
+            if a == "-c" or a == cmd.filename:
+                continue
+            if os.path.abspath(os.path.join(cmd.directory, a)) == src:
+                continue
+            args.append(a)
         try:
             tu = index.parse(src, args=args)
         except Exception as e:
@@ -755,15 +869,14 @@ def _harvest_annotations(cursor, wanted, project):
         rel = wanted.get(os.path.abspath(loc.file.name))
         if rel is None:
             continue
-        ann = set()
         for ch in cur.get_children():
             if ch.kind == CursorKind.ANNOTATE_ATTR:
                 if ch.spelling == "ssmst::hot_path":
-                    ann.add(HOT_MACRO)
+                    project.hot_names.add(cur.spelling)
                 elif ch.spelling == "ssmst::alloc_ok":
-                    ann.add(ALLOC_OK_MACRO)
-        if ann:
-            project.name_annotations[cur.spelling] |= ann
+                    # same binding rule as the token frontend: ALLOC_OK is
+                    # keyed by the file this cursor lives in
+                    project.alloc_ok_at[cur.spelling].add(rel)
 
 
 # --------------------------------------------------------------------------
