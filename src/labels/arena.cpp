@@ -1,8 +1,18 @@
 #include "labels/arena.hpp"
 
+#include <map>
 #include <mutex>
 
 namespace ssmst {
+
+namespace {
+
+/// Thread-local tenant attribution for acquire() (LabelArenaPool class
+/// comment): set by TenantScope, read under the pool lock. Thread-local
+/// because the fleet scheduler runs one tenant per pool lane at a time.
+thread_local std::uint64_t t_current_tenant = LabelArenaPool::kNoTenant;
+
+}  // namespace
 
 /// Pool internals. Kept out of the header so the mutex and the parked
 /// slabs have one definition; the Impl leaks by design (function-local
@@ -14,7 +24,15 @@ struct LabelArenaPool::Impl {
   std::size_t created = 0;
   /// Parking more slabs than concurrent marking contexts ever need would
   /// just hoard memory; beyond the cap a released arena is truly freed.
-  static constexpr std::size_t kMaxPooled = 4;
+  /// Sized for the fleet scheduler's concurrent lanes (sim/service.hpp),
+  /// not just the single re-marking context the pool started with.
+  static constexpr std::size_t kMaxPooled = 16;
+
+  // Cross-tenant accounting (class comment). Ordered maps, not
+  // unordered_*: determinism rule R4 bans iteration-order-dependent
+  // containers in src/ and these are iterated by tenant_live_bytes.
+  std::map<const LabelArena*, std::uint64_t> owner;   ///< live arena -> tag
+  std::map<std::uint64_t, std::uint64_t> reclaimed;   ///< tag -> bytes
 };
 
 LabelArenaPool::LabelArenaPool() : impl_(new Impl) {}
@@ -23,6 +41,13 @@ LabelArenaPool& LabelArenaPool::instance() {
   static LabelArenaPool pool;
   return pool;
 }
+
+LabelArenaPool::TenantScope::TenantScope(std::uint64_t tenant)
+    : prev_(t_current_tenant) {
+  t_current_tenant = tenant;
+}
+
+LabelArenaPool::TenantScope::~TenantScope() { t_current_tenant = prev_; }
 
 std::shared_ptr<LabelArena> LabelArenaPool::acquire() {
   std::unique_ptr<LabelArena> arena;
@@ -35,13 +60,23 @@ std::shared_ptr<LabelArena> LabelArenaPool::acquire() {
       arena = std::make_unique<LabelArena>();
       ++impl_->created;
     }
+    if (t_current_tenant != kNoTenant) {
+      impl_->owner[arena.get()] = t_current_tenant;
+    }
   }
-  // The deleter returns the slab (capacity intact) instead of freeing it.
+  // The deleter returns the slab (capacity intact) instead of freeing it,
+  // booking the live bytes to the owning tenant's reclaim counter first —
+  // this is the slab-reclaim path a quarantined tenant's teardown takes.
   Impl* impl = impl_;
   return std::shared_ptr<LabelArena>(
       arena.release(), [impl](LabelArena* a) {
+        const std::size_t live = a->live_bytes();
         a->reset();
         std::lock_guard<std::mutex> lk(impl->mu);
+        if (auto it = impl->owner.find(a); it != impl->owner.end()) {
+          impl->reclaimed[it->second] += live;
+          impl->owner.erase(it);
+        }
         if (impl->free.size() < Impl::kMaxPooled) {
           impl->free.emplace_back(a);
         } else {
@@ -58,6 +93,22 @@ std::size_t LabelArenaPool::created_total() const {
 std::size_t LabelArenaPool::pooled() const {
   std::lock_guard<std::mutex> lk(impl_->mu);
   return impl_->free.size();
+}
+
+std::size_t LabelArenaPool::tenant_live_bytes(std::uint64_t tenant) const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  std::size_t total = 0;
+  for (const auto& [arena, tag] : impl_->owner) {
+    if (tag == tenant) total += arena->live_bytes();
+  }
+  return total;
+}
+
+std::uint64_t LabelArenaPool::tenant_reclaimed_bytes(
+    std::uint64_t tenant) const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  const auto it = impl_->reclaimed.find(tenant);
+  return it == impl_->reclaimed.end() ? 0 : it->second;
 }
 
 }  // namespace ssmst

@@ -247,9 +247,46 @@ class LabelArena {
 /// the slab to the pool instead of freeing it. Capacity therefore
 /// stabilizes after the first warm-up cycle instead of churning the
 /// allocator every re-mark (pinned by tests/test_arena.cpp).
+///
+/// # Cross-tenant slab accounting (the fleet-service contract)
+///
+/// The multi-tenant service (sim/service.hpp) runs many simulations over
+/// this one pool, so slabs need an owner: while a `TenantScope` is alive
+/// on a thread, every `acquire()` on that thread attributes the arena to
+/// the scope's tenant tag. The pool tracks, per tag, the live stripe
+/// bytes its arenas currently hold (`tenant_live_bytes`) and the bytes
+/// handed back when its arenas were released (`tenant_reclaimed_bytes`,
+/// monotone). The reclaim contract the service relies on: releasing a
+/// tenant's last arena reference — including via quarantine, where the
+/// harness is simply destroyed — books the slab's live bytes as reclaimed
+/// and returns the storage to the pool for the next tenant; a quarantined
+/// tenant can therefore never leak slabs. Acquires outside any scope are
+/// untagged and unaccounted (the single-tenant legacy paths).
+///
+/// Thread-safety: all counters are mutex-guarded; `tenant_live_bytes`
+/// reads each live arena's stripe sizes, so it must only be called for
+/// tenants whose simulations are quiesced (no concurrent label install).
 class LabelArenaPool {
  public:
+  /// Tag meaning "no tenant": acquires made outside a TenantScope.
+  static constexpr std::uint64_t kNoTenant = ~std::uint64_t{0};
+
   static LabelArenaPool& instance();
+
+  /// RAII tenant attribution: arenas acquired on this thread while the
+  /// scope is alive belong to `tenant`. Scopes nest (the previous tag is
+  /// restored on destruction); the tag is thread-local, so concurrent
+  /// tenants on different pool lanes do not interfere.
+  class TenantScope {
+   public:
+    explicit TenantScope(std::uint64_t tenant);
+    ~TenantScope();
+    TenantScope(const TenantScope&) = delete;
+    TenantScope& operator=(const TenantScope&) = delete;
+
+   private:
+    std::uint64_t prev_;
+  };
 
   /// A reset arena with recycled capacity when the pool has one, fresh
   /// otherwise. The returned pointer is stable for the arena's lifetime.
@@ -260,6 +297,16 @@ class LabelArenaPool {
   std::size_t created_total() const;
   /// Arenas currently parked in the pool.
   std::size_t pooled() const;
+
+  /// Live stripe bytes currently held by arenas attributed to `tenant`
+  /// (0 once all of its arenas were released). Only valid while the
+  /// tenant's simulations are quiesced — see the class comment.
+  std::size_t tenant_live_bytes(std::uint64_t tenant) const;
+  /// Total bytes booked as reclaimed from `tenant` so far: each arena's
+  /// live bytes, measured at the moment its last reference dropped.
+  /// Monotone over the process lifetime; callers diff before/after an
+  /// episode to get that episode's reclaim.
+  std::uint64_t tenant_reclaimed_bytes(std::uint64_t tenant) const;
 
  private:
   struct Impl;

@@ -2,7 +2,9 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -139,6 +141,24 @@ bool BenchJson::flush(const std::string& path) const {
   }
   out << "\n}\n";
   return out.good();
+}
+
+SloQuantiles slo_quantiles(std::vector<double> values) {
+  SloQuantiles q;
+  q.samples = values.size();
+  if (values.empty()) return q;
+  std::sort(values.begin(), values.end());
+  const auto rank = [&](double p) {
+    const auto idx = static_cast<std::size_t>(
+        std::llround(p * static_cast<double>(values.size() - 1)));
+    return values[idx];
+  };
+  q.min = values.front();
+  q.p50 = rank(0.5);
+  q.p99 = rank(0.99);
+  q.p999 = rank(0.999);
+  q.max = values.back();
+  return q;
 }
 
 std::vector<std::uint64_t> bench_ladder(std::uint64_t base,

@@ -28,6 +28,24 @@ std::vector<std::uint64_t> bench_ladder(std::uint64_t base,
                                         std::uint64_t factor,
                                         std::uint64_t max_n);
 
+/// Nearest-rank service-level quantiles over one metric's per-tenant
+/// samples (the SLO columns of bench_service: detection-latency units,
+/// rounds/s). All zero when the sample set is empty; p999 needs ~1000
+/// samples to differ from max, smaller fleets just saturate to the top
+/// sample — fine for smoke rows, say so when reading them.
+struct SloQuantiles {
+  std::size_t samples = 0;
+  double min = 0;
+  double p50 = 0;
+  double p99 = 0;
+  double p999 = 0;
+  double max = 0;
+};
+
+/// Computes nearest-rank (round half up over the sorted samples)
+/// quantiles; takes the vector by value because it sorts it.
+SloQuantiles slo_quantiles(std::vector<double> values);
+
 /// Collects benchmark records and merges them into a flat JSON file:
 ///
 ///   { "bench/name": {"items_per_s": 1.0e6, "peak_rss_bytes": 2.0e9}, ... }

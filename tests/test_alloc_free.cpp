@@ -15,6 +15,7 @@
 #include <new>
 
 #include "core/ssmst.hpp"
+#include "sim/service.hpp"
 
 namespace {
 
@@ -249,6 +250,32 @@ TEST(AllocFree, WatchdogTripsInSteadyStateAllocateNothing) {
   EXPECT_EQ(allocs, 0u)
       << "watchdog-armed steady-state units must not allocate";
   EXPECT_GT(h.sim().stats().repairs, repairs0) << "trips must have fired";
+}
+
+TEST(AllocFree, ServiceSteadyStateDispatchAllocatesNothing) {
+  // The fleet scheduler's steady-state contract (sim/service.hpp): once
+  // every tenant is terminal, re-draining the slot table — the long-lived
+  // service's idle heartbeat — is pool dispatch plus a branch per slot,
+  // with ZERO heap allocations. The dispatch closure is a reused member
+  // std::function capturing only `this`, so drain() itself stays off the
+  // heap too.
+  service::ServiceConfiguration cfg;
+  cfg.threads(2).service_seed(31);
+  service::VerificationService svc(cfg);
+  for (std::size_t i = 0; i < 6; ++i) {
+    service::TenantSpec spec;
+    spec.n = 32;
+    if (i == 2) spec.fault = service::TenantFault::kRegisterTamper;
+    ASSERT_TRUE(svc.submit(spec));
+  }
+  svc.drain();  // cold pass: episodes run and allocate freely
+  ASSERT_EQ(svc.pending(), 0u);
+  const std::uint64_t allocs = count_allocations([&] {
+    const auto& reports = svc.drain();
+    ASSERT_EQ(reports.size(), 6u);
+  });
+  EXPECT_EQ(allocs, 0u)
+      << "steady-state fleet dispatch must not touch the allocator";
 }
 
 TEST(AllocFree, RegistersAreTriviallyCopyable) {

@@ -23,6 +23,7 @@
 #include "selfstab/reset.hpp"
 #include "sim/campaign.hpp"
 #include "sim/faults.hpp"
+#include "sim/service.hpp"
 #include "util/thread_pool.hpp"
 #include "verify/metrology.hpp"
 
@@ -455,6 +456,35 @@ TEST(AuxCampaign, ClassAndFamilyNamesRoundTripThroughTheParsers) {
   }
   EXPECT_FALSE(campaign::parse_class("no_such_class").has_value());
   EXPECT_FALSE(campaign::parse_family("no_such_family").has_value());
+}
+
+TEST(AuxFaults, CorruptTenantDoesNotPerturbItsNeighbor) {
+  // Two tenants through the fleet service (sim/service.hpp): tenant A is
+  // seeded with the aux-queue-drop class (piece lie + consistent pending
+  // wipe — the watchdog-only corner), tenant B is healthy. A's corruption,
+  // detection and reseed repair must be invisible to B: B's report is
+  // bit-identical to running B alone.
+  service::ServiceConfiguration cfg;
+  cfg.threads(2).service_seed(4242);
+  service::VerificationService svc(cfg);
+  service::TenantSpec a;
+  a.n = 48;
+  a.fault = service::TenantFault::kAuxQueueDrop;
+  service::TenantSpec b;
+  b.n = 48;
+  ASSERT_TRUE(svc.submit(a));
+  ASSERT_TRUE(svc.submit(b));
+  const auto& reports = svc.drain();
+  ASSERT_EQ(reports.size(), 2u);
+
+  EXPECT_EQ(reports[0].outcome, service::TenantOutcome::kRepaired);
+  EXPECT_TRUE(reports[0].detected);
+  EXPECT_GE(reports[0].repairs, 1u);
+
+  EXPECT_EQ(reports[1].outcome, service::TenantOutcome::kHealthy);
+  const service::TenantReport solo =
+      service::VerificationService::run_solo(cfg, b, 1);
+  EXPECT_TRUE(service::deterministic_equal(reports[1], solo));
 }
 
 }  // namespace

@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "graph/generators.hpp"
@@ -535,6 +537,84 @@ TEST(ParallelSim, AsyncUnitsDemoteCoherence) {
     ASSERT_TRUE(std::as_const(zc).states() == std::as_const(seeded).states())
         << "cycle " << cycle;
   }
+}
+
+TEST(BatchRunner, ThrowingJobIsContainedPerSlot) {
+  // Satellite of the fleet-service PR: one bad sweep cell records its
+  // error in its own slot; the other N-1 results are bit-identical to a
+  // sweep where nothing threw (same index-derived rngs, any thread count).
+  Rng grng(56);
+  auto g = gen::random_connected(30, 25, grng);
+  BatchRunner runner(4);
+  const std::size_t kJobs = 16;
+  const std::size_t kBad = 5;
+  const auto clean = runner.map<std::uint64_t>(
+      kJobs, 90, [&](std::size_t i, Rng& rng) { return sweep_cell(g, i, rng); });
+  const auto outcomes = runner.map_outcomes<std::uint64_t>(
+      kJobs, 90, [&](std::size_t i, Rng& rng) -> std::uint64_t {
+        if (i == kBad) throw std::runtime_error("cell 5 exploded");
+        return sweep_cell(g, i, rng);
+      });
+  ASSERT_EQ(outcomes.size(), kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    if (i == kBad) {
+      EXPECT_FALSE(outcomes[i].ok());
+      EXPECT_EQ(outcomes[i].error, "cell 5 exploded");
+    } else {
+      ASSERT_TRUE(outcomes[i].ok()) << "job " << i << ": " << outcomes[i].error;
+      EXPECT_EQ(*outcomes[i].value, clean[i]) << "job " << i;
+    }
+  }
+}
+
+TEST(BatchRunner, MapRethrowsTheLowestIndexFailureAndPoolSurvives) {
+  BatchRunner runner(4);
+  // Two failures: map must rethrow job 2's (the lowest index) at every
+  // thread count — not whichever the scheduler happened to finish first.
+  try {
+    runner.map<int>(10, 7, [](std::size_t i, Rng&) -> int {
+      if (i == 2) throw std::runtime_error("first");
+      if (i == 8) throw std::runtime_error("second");
+      return static_cast<int>(i);
+    });
+    FAIL() << "map must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("job 2"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("first"), std::string::npos)
+        << e.what();
+  }
+  // The whole sweep ran to the barrier before the rethrow: the pool is
+  // immediately reusable.
+  const auto out = runner.map<std::size_t>(
+      12, 7, [](std::size_t i, Rng&) { return i + 1; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i + 1);
+}
+
+TEST(BatchRunner, ThreadsFromArgvRejectsGarbageLoudly) {
+  const unsigned hw = ThreadPool::hardware_threads();
+  auto probe = [](const char* arg1) {
+    char prog[] = "bench";
+    // threads_from_argv takes char** (main's signature), so the probe
+    // needs writable storage.
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%s", arg1);
+    char* argv[] = {prog, buf, nullptr};
+    return threads_from_argv(2, argv);
+  };
+  char prog[] = "bench";
+  char* no_args[] = {prog, nullptr};
+  EXPECT_EQ(threads_from_argv(1, no_args), hw);
+  EXPECT_EQ(probe("7"), 7u);
+  EXPECT_EQ(probe("1"), 1u);
+  // Garbage used to go through atoi() -> 0 -> silently floored to 1,
+  // serializing the bench; now it falls back to the hardware default.
+  EXPECT_EQ(probe("abc"), hw);
+  EXPECT_EQ(probe("12x"), hw);
+  EXPECT_EQ(probe("0"), hw);
+  EXPECT_EQ(probe("9999999"), hw);
+  // A leading --flag is not a thread count: positional default applies.
+  EXPECT_EQ(probe("--json=out.json"), hw);
 }
 
 }  // namespace

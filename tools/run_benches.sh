@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # Runs the perf-tracked benches once and merges their machine-readable
-# records into one JSON file (default BENCH_PR8.json) so the perf
+# records into one JSON file (default BENCH_PR10.json) so the perf
 # trajectory is tracked across PRs instead of prose-only in CHANGES.md.
 #
 # Usage: tools/run_benches.sh <build-dir> [out.json] [max-n]
 #
 #   build-dir  directory containing the bench binaries (e.g. build)
-#   out.json   merged output file              (default: BENCH_PR8.json)
+#   out.json   merged output file              (default: BENCH_PR10.json)
 #   max-n      scale-section size for the table benches
 #              (default: 1048576 = 2^20; use e.g. 16384 for a quick smoke)
 #
@@ -17,7 +17,7 @@
 set -euo pipefail
 
 build=${1:?usage: tools/run_benches.sh <build-dir> [out.json] [max-n]}
-out=${2:-BENCH_PR8.json}
+out=${2:-BENCH_PR10.json}
 max_n=${3:-1048576}
 
 tmp=$(mktemp "${out}.XXXXXX.tmp")
@@ -41,6 +41,13 @@ if [ "$max_n" -lt 1048576 ]; then
   campaign_eps=4
 fi
 
+# Fleet-service sizes: the full run drains a 128-tenant mixed fleet (the
+# driver is also a containment/determinism gate); smoke runs shrink it.
+service_tenants=128
+if [ "$max_n" -lt 1048576 ]; then
+  service_tenants=32
+fi
+
 "$build/bench_micro" --json="$tmp" \
   --benchmark_filter="$micro_filter"
 "$build/bench_labels_memory" --max-n="$max_n" --json="$tmp"
@@ -49,6 +56,7 @@ fi
 "$build/bench_table1" 1 --max-n="$max_n" --json="$tmp"
 "$build/bench_campaign" 1 --n="$campaign_n" --episodes="$campaign_eps" \
   --json="$tmp"
+"$build/bench_service" 4 --tenants="$service_tenants" --json="$tmp"
 
 mv "$tmp" "$out"
 trap - EXIT
